@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare all four coherence protocols on the commercial workloads.
+
+Reproduces the qualitative story of Figures 4 and 5 in one table:
+TokenB on the torus wins on runtime by avoiding both interconnect
+ordering (vs. snooping's tree) and home-node indirection (vs. directory
+and Hammer), while Directory wins on traffic and Hammer loses badly on
+it.
+
+Run:  python examples/protocol_comparison.py [ops_per_proc]
+"""
+
+import sys
+
+from repro import COMMERCIAL_WORKLOADS, SystemConfig, simulate
+
+VARIANTS = [
+    ("TokenB / torus", "tokenb", "torus"),
+    ("TokenB / tree", "tokenb", "tree"),
+    ("Snooping / tree", "snooping", "tree"),
+    ("Hammer / torus", "hammer", "torus"),
+    ("Directory / torus", "directory", "torus"),
+]
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    print(f"{'workload':<9} {'variant':<19} {'cyc/txn':>9} {'B/miss':>8} "
+          f"{'miss lat':>9} {'c2c':>6}")
+    print("-" * 66)
+    for name, workload in COMMERCIAL_WORKLOADS.items():
+        rows = []
+        for label, protocol, interconnect in VARIANTS:
+            config = SystemConfig(
+                protocol=protocol, interconnect=interconnect, n_procs=16
+            )
+            result = simulate(config, workload.scaled(ops))
+            rows.append((label, result))
+        best = min(r.cycles_per_transaction for _, r in rows)
+        for label, result in rows:
+            marker = " <- fastest" if (
+                result.cycles_per_transaction == best
+            ) else ""
+            print(
+                f"{name:<9} {label:<19} "
+                f"{result.cycles_per_transaction:9.0f} "
+                f"{result.bytes_per_miss:8.0f} "
+                f"{result.mean_miss_latency_ns:8.0f}ns "
+                f"{result.cache_to_cache_fraction():6.1%}{marker}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

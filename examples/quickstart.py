@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate TokenB on the Table 1 system and print results.
+
+Builds the paper's target machine — 16 glueless nodes on an unordered
+4x4 torus — runs the OLTP workload model under the TokenB performance
+protocol, and prints the headline metrics (runtime, traffic, and the
+Table 2 miss classification).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OLTP, SystemConfig, simulate
+
+
+def main() -> None:
+    config = SystemConfig(protocol="tokenb", interconnect="torus", n_procs=16)
+    print("Simulating 16-processor TokenB on the unordered torus ...")
+    result = simulate(config, OLTP.scaled(400))
+
+    print()
+    print(result.summary())
+    print()
+    print(f"cache-to-cache miss fraction: {result.cache_to_cache_fraction():.1%}")
+    print("traffic per miss by figure bucket:")
+    for bucket, value in result.traffic_breakdown_per_miss().items():
+        print(f"  {bucket:<26} {value:7.1f} bytes")
+
+    # The same workload on the directory protocol, for contrast: TokenB
+    # avoids the home-node indirection on cache-to-cache misses.
+    directory = simulate(
+        SystemConfig(protocol="directory", interconnect="torus", n_procs=16),
+        OLTP.scaled(400),
+    )
+    ratio = directory.cycles_per_transaction / result.cycles_per_transaction
+    print()
+    print(
+        f"TokenB is {100 * (ratio - 1):.0f}% faster than Directory "
+        f"({result.cycles_per_transaction:,.0f} vs "
+        f"{directory.cycles_per_transaction:,.0f} cycles/transaction)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of *Token Coherence: Decoupling Performance and
+Correctness* (Martin, Hill & Wood, ISCA 2003).
+
+Quick start::
+
+    from repro import SystemConfig, simulate, OLTP
+
+    config = SystemConfig(protocol="tokenb", interconnect="torus")
+    result = simulate(config, OLTP.scaled(500))
+    print(result.summary())
+
+Public surface:
+
+* :class:`SystemConfig` — Table 1 system parameters.
+* :func:`simulate` / :func:`build_system` — run a workload on a system.
+* :class:`SimulationResult` — runtime, traffic, and Table 2 metrics.
+* Workloads: :data:`OLTP`, :data:`APACHE`, :data:`SPECJBB`,
+  :class:`WorkloadSpec`, and the Question 5 microbenchmarks.
+* The Token Coherence core lives in :mod:`repro.core`; baseline
+  protocols in :mod:`repro.protocols`.
+"""
+
+from repro.coherence import CoherenceChecker, CoherenceViolation
+from repro.core import TokenInvariantError, TokenLedger
+from repro.system import (
+    DeadlockError,
+    SimulationResult,
+    System,
+    SystemConfig,
+    build_system,
+    simulate,
+)
+from repro.workloads import (
+    APACHE,
+    COMMERCIAL_WORKLOADS,
+    OLTP,
+    SPECJBB,
+    WorkloadSpec,
+    contended_sharing_spec,
+    generate_streams,
+    memory_pressure_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APACHE",
+    "COMMERCIAL_WORKLOADS",
+    "CoherenceChecker",
+    "CoherenceViolation",
+    "DeadlockError",
+    "OLTP",
+    "SPECJBB",
+    "SimulationResult",
+    "System",
+    "SystemConfig",
+    "TokenInvariantError",
+    "TokenLedger",
+    "WorkloadSpec",
+    "__version__",
+    "build_system",
+    "contended_sharing_spec",
+    "generate_streams",
+    "memory_pressure_spec",
+    "simulate",
+]

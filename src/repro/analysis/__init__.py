@@ -1,0 +1,17 @@
+"""Result analysis and paper-style report formatting."""
+
+from repro.analysis.report import (
+    format_runtime_bars,
+    format_table2,
+    format_traffic_bars,
+    speedup,
+    traffic_ratio,
+)
+
+__all__ = [
+    "format_runtime_bars",
+    "format_table2",
+    "format_traffic_bars",
+    "speedup",
+    "traffic_ratio",
+]

@@ -1,0 +1,6 @@
+"""Cache structures: set-associative arrays and MSHRs."""
+
+from repro.cache.cache import CacheLine, SetAssociativeCache
+from repro.cache.mshr import MshrEntry, MshrTable
+
+__all__ = ["CacheLine", "MshrEntry", "MshrTable", "SetAssociativeCache"]

@@ -1,0 +1,22 @@
+"""Protocol-independent coherence layer: states, messages, safety oracle."""
+
+from repro.coherence.checker import CoherenceChecker, CoherenceViolation
+from repro.coherence.controller import ProtocolError, ProtocolNode
+from repro.coherence.messages import (
+    CoherenceMessage,
+    control_message,
+    data_message,
+)
+from repro.coherence.states import Moesi, state_from_tokens
+
+__all__ = [
+    "CoherenceChecker",
+    "CoherenceMessage",
+    "CoherenceViolation",
+    "Moesi",
+    "ProtocolError",
+    "ProtocolNode",
+    "control_message",
+    "data_message",
+    "state_from_tokens",
+]

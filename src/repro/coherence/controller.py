@@ -1,0 +1,252 @@
+"""Base class for per-node protocol controllers.
+
+Each glueless node (Figure 1) integrates the processor-side sequencer,
+the L2 coherence cache, the coherence controller, and the memory
+controller for its slice of shared memory.  :class:`ProtocolNode` holds
+everything protocol-independent: the L2 array, MSHRs with operation
+coalescing, DRAM, message construction/routing helpers, eviction
+plumbing, and the statistics hooks.  The four protocol subclasses
+implement ``handle_message``, ``_issue_transaction``, ``_evict_line``,
+and the permission predicates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.cache.cache import CacheLine, SetAssociativeCache
+from repro.cache.mshr import MshrEntry, MshrTable
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.messages import CoherenceMessage, control_message, data_message
+from repro.interconnect.topology import Interconnect
+from repro.memory.address import AddressMap
+from repro.memory.dram import Dram
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Counter
+from repro.config import SystemConfig
+
+
+class ProtocolError(RuntimeError):
+    """An unrecoverable protocol-level condition (misconfiguration)."""
+
+
+class ProtocolNode(abc.ABC):
+    """One node's coherence machinery (cache side + home memory side)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Interconnect,
+        config: SystemConfig,
+        checker: CoherenceChecker,
+        counters: Counter,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.checker = checker
+        self.counters = counters
+        self.addr_map = AddressMap(config.n_procs, config.block_bytes)
+        self.l2 = SetAssociativeCache.from_geometry(
+            config.l2_bytes, config.l2_assoc, config.block_bytes
+        )
+        self.mshrs = MshrTable(config.mshr_capacity)
+        self.dram = Dram(sim, config.dram_latency_ns)
+        #: Evicted-but-unacknowledged lines still owned by this node.
+        self.writeback_buffer: dict[int, dict[str, Any]] = {}
+        self._lose_block_hook: Callable[[int], None] | None = None
+        network.attach(node_id, self.handle_message)
+
+    # ------------------------------------------------------------------
+    # Sequencer-facing API
+    # ------------------------------------------------------------------
+
+    def set_lose_block_hook(self, hook: Callable[[int], None]) -> None:
+        """Called with a block number whenever the L2 loses read
+        permission for it, so the sequencer can enforce L1 inclusion."""
+        self._lose_block_hook = hook
+
+    def probe(self, block: int, for_write: bool) -> int | None:
+        """L2 permission check: data version on a hit, None on a miss."""
+        line = self.l2.lookup(block)
+        if line is None:
+            return None
+        if for_write:
+            return line.version if self._line_can_write(line) else None
+        return line.version if self._line_can_read(line) else None
+
+    def perform_store(self, block: int) -> int:
+        """Complete a store on a line held with write permission."""
+        line = self.l2.lookup(block)
+        if line is None or not self._line_can_write(line):
+            raise ProtocolError(
+                f"P{self.node_id} store to block {block:#x} without write "
+                f"permission (line={line})"
+            )
+        new_version = self.checker.record_store(
+            block, self.node_id, self.sim.now, line.version
+        )
+        line.version = new_version
+        line.dirty = True
+        return new_version
+
+    def start_miss(
+        self, block: int, for_write: bool, on_complete: Callable[[int], None]
+    ) -> MshrEntry:
+        """Begin (or join) a coherence transaction for ``block``.
+
+        ``on_complete(version)`` fires once the operation has been
+        performed with the required permission.
+        """
+        entry = self.mshrs.get(block)
+        if entry is not None:
+            entry.waiters.append((for_write, on_complete))
+            return entry
+        entry = self.mshrs.allocate(block, for_write, self.sim.now)
+        entry.waiters.append((for_write, on_complete))
+        self.counters.add("l2_miss")
+        self.counters.add("miss_store" if for_write else "miss_load")
+        self._issue_transaction(entry)
+        return entry
+
+    def outstanding_misses(self) -> int:
+        return len(self.mshrs)
+
+    # ------------------------------------------------------------------
+    # Transaction completion plumbing
+    # ------------------------------------------------------------------
+
+    def _finish_mshr(self, entry: MshrEntry) -> None:
+        """Release the MSHR and satisfy (or re-dispatch) coalesced ops."""
+        block = entry.block
+        self.mshrs.free(block)
+        self._record_miss_class(entry)
+        waiters = list(entry.waiters)
+        entry.waiters.clear()
+        deferred: list[tuple[bool, Callable[[int], None]]] = []
+        for for_write, callback in waiters:
+            line = self.l2.lookup(block)
+            if for_write:
+                if line is not None and self._line_can_write(line):
+                    callback(self.perform_store(block))
+                else:
+                    deferred.append((for_write, callback))
+            else:
+                if line is not None and self._line_can_read(line):
+                    callback(line.version)
+                else:
+                    deferred.append((for_write, callback))
+        for for_write, callback in deferred:
+            self.start_miss(block, for_write, callback)
+
+    def _record_miss_class(self, entry: MshrEntry) -> None:
+        """Classify the finished miss for Table 2 (TokenB overrides)."""
+        del entry
+
+    # ------------------------------------------------------------------
+    # Cache installation and eviction
+    # ------------------------------------------------------------------
+
+    def _install_line(self, block: int) -> CacheLine:
+        """Return the line for ``block``, evicting a victim if needed."""
+        line = self.l2.lookup(block)
+        if line is not None:
+            return line
+        victim = self._choose_victim(block)
+        if victim is not None:
+            self._evict_line(victim)
+            if self.l2.contains(victim.block):
+                raise ProtocolError(
+                    f"_evict_line left block {victim.block:#x} resident"
+                )
+        return self.l2.insert(block)
+
+    def _choose_victim(self, block: int) -> CacheLine | None:
+        """LRU victim, skipping lines with in-flight transactions."""
+        if self.l2.set_has_room(block):
+            return None
+        candidates = [
+            line
+            for line in self.l2.lines_in_set(block)
+            if line.block not in self.mshrs
+            and line.block not in self.writeback_buffer
+            and self._line_evictable(line)
+        ]
+        if not candidates:
+            raise ProtocolError(
+                "no evictable line in set (all ways have in-flight "
+                "transactions); increase l2_assoc or reduce "
+                "max_outstanding_misses"
+            )
+        return min(candidates, key=lambda line: line._last_use)  # noqa: SLF001
+
+    def _line_evictable(self, line: CacheLine) -> bool:
+        """Protocols may pin lines (e.g. active persistent requests)."""
+        del line
+        return True
+
+    def _drop_line(self, block: int) -> CacheLine | None:
+        """Remove a line and tell the sequencer (L1 inclusion)."""
+        line = self.l2.remove(block)
+        if line is not None:
+            self._notify_lose_block(block)
+        return line
+
+    def _notify_lose_block(self, block: int) -> None:
+        if self._lose_block_hook is not None:
+            self._lose_block_hook(block)
+
+    # ------------------------------------------------------------------
+    # Messaging helpers
+    # ------------------------------------------------------------------
+
+    def home_of(self, block: int) -> int:
+        return self.addr_map.home_of(block)
+
+    def is_home(self, block: int) -> bool:
+        return self.home_of(block) == self.node_id
+
+    def send_msg(self, msg: CoherenceMessage) -> None:
+        """Route a unicast message; node-local traffic skips the network."""
+        if msg.dst == self.node_id:
+            self.sim.schedule(0.0, self.handle_message, msg)
+            return
+        self.network.send(msg)
+
+    def broadcast_msg(self, msg: CoherenceMessage, include_self: bool = False) -> None:
+        self.network.broadcast(msg, include_self=include_self)
+
+    def make_control(self, **kwargs) -> CoherenceMessage:
+        kwargs.setdefault("src", self.node_id)
+        return control_message(**kwargs)
+
+    def make_data(self, **kwargs) -> CoherenceMessage:
+        kwargs.setdefault("src", self.node_id)
+        return data_message(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Protocol-specific behaviour
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def handle_message(self, msg: CoherenceMessage) -> None:
+        """Deliver an incoming network message to this node."""
+
+    @abc.abstractmethod
+    def _issue_transaction(self, entry: MshrEntry) -> None:
+        """Send the first request(s) for a newly allocated miss."""
+
+    @abc.abstractmethod
+    def _evict_line(self, line: CacheLine) -> None:
+        """Displace ``line`` from the L2 (writeback/token return)."""
+
+    @abc.abstractmethod
+    def _line_can_read(self, line: CacheLine) -> bool:
+        """May the local processor read this line right now?"""
+
+    @abc.abstractmethod
+    def _line_can_write(self, line: CacheLine) -> bool:
+        """May the local processor write this line right now?"""

@@ -1,0 +1,81 @@
+"""Coherence message vocabulary shared by all four protocols.
+
+One flexible dataclass rather than a class per message type: protocol
+handlers dispatch on ``mtype`` strings.  Message types used by each
+protocol:
+
+================  ==========================================================
+Protocol          Message types
+================  ==========================================================
+TokenB            GETS, GETM (transient requests, broadcast);
+                  TOKEN_DATA (data + tokens), TOKEN_ONLY (dataless tokens);
+                  PERSISTENT_REQ, PERSISTENT_ACTIVATE, PERSISTENT_ACK,
+                  PERSISTENT_DEACTIVATE, PERSISTENT_DEACT_ACK
+Snooping          GETS, GETM, PUT (ordered broadcasts); DATA (response);
+                  WB_DATA (writeback data to home)
+Directory         GETS, GETM, PUT (to home); FWD_GETS, FWD_GETM, INV (from
+                  home); DATA, ACK (to requester); UNBLOCK, PUT_ACK,
+                  WB_DATA
+Hammer            GETS, GETM, PUT (to home); PROBE (home broadcast); DATA,
+                  ACK (to requester); UNBLOCK, PUT_ACK, WB_DATA
+================  ==========================================================
+
+Sizes follow Section 5.1: data-bearing messages are 72 bytes, everything
+else 8 bytes.  ``data_version`` is the integer payload standing in for the
+64-byte block, consumed by the coherence checker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.interconnect.message import (
+    CONTROL_MESSAGE_BYTES,
+    DATA_MESSAGE_BYTES,
+    Message,
+)
+
+
+@dataclasses.dataclass
+class CoherenceMessage(Message):
+    """A protocol message; see module docstring for the ``mtype`` values."""
+
+    mtype: str = ""
+    block: int = 0
+    #: The node whose miss this message serves (responses and forwards).
+    requester: int = -1
+    #: Token count carried (Token Coherence only).
+    tokens: int = 0
+    #: True if the owner token rides in this message (must carry data,
+    #: Invariant #4').
+    owner_token: bool = False
+    #: Data payload version; None on dataless messages.
+    data_version: int | None = None
+    #: Invalidation-ack count the requester must collect (Directory).
+    acks_expected: int = 0
+    #: Migratory-sharing grant: receiver may install M on a GETS response.
+    is_exclusive: bool = False
+    #: Tag disambiguating persistent-request sessions and marking
+    #: memory-sourced data (protocol-specific small integer).
+    tag: int = 0
+    #: Requester-local transaction id, echoed by responders so a late
+    #: response to a completed transaction cannot be mistaken for the
+    #: response to a newer one (needed by split-transaction snooping).
+    tx: int = 0
+
+    def carries_data(self) -> bool:
+        return self.data_version is not None
+
+
+def control_message(**kwargs) -> CoherenceMessage:
+    """Build an 8-byte control message."""
+    kwargs.setdefault("size_bytes", CONTROL_MESSAGE_BYTES)
+    return CoherenceMessage(**kwargs)
+
+
+def data_message(**kwargs) -> CoherenceMessage:
+    """Build a 72-byte data message; requires ``data_version``."""
+    if kwargs.get("data_version") is None:
+        raise ValueError("data messages must carry a data_version")
+    kwargs.setdefault("size_bytes", DATA_MESSAGE_BYTES)
+    return CoherenceMessage(**kwargs)

@@ -1,0 +1,56 @@
+"""MOESI coherence states and the token-count mapping.
+
+Section 3.1 of the paper maps token possession onto the familiar states
+(Sweazey & Smith [41]):
+
+* all T tokens                      -> **M** (modified)
+* owner token but not all tokens    -> **O** (owned)
+* 1..T-1 tokens, no owner token     -> **S** (shared)
+* no tokens                         -> **I** (invalid)
+
+The baseline protocols in this repository are MOSI (no exclusive state),
+matching Section 5.1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Moesi(str, enum.Enum):
+    """Stable coherence states."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    def can_read(self) -> bool:
+        return self is not Moesi.INVALID
+
+    def can_write(self) -> bool:
+        return self in (Moesi.MODIFIED, Moesi.EXCLUSIVE)
+
+    def is_owner(self) -> bool:
+        """Does a cache in this state supply data on other nodes' misses?"""
+        return self in (Moesi.MODIFIED, Moesi.OWNED, Moesi.EXCLUSIVE)
+
+
+def state_from_tokens(tokens: int, owner_token: bool, total_tokens: int) -> Moesi:
+    """Map a token count to the equivalent MOESI state (Section 3.1).
+
+    Raises ValueError for impossible combinations (more tokens than exist,
+    or an owner token claimed with zero tokens).
+    """
+    if not 0 <= tokens <= total_tokens:
+        raise ValueError(f"token count {tokens} outside [0, {total_tokens}]")
+    if owner_token and tokens == 0:
+        raise ValueError("cannot hold the owner token with zero tokens")
+    if tokens == 0:
+        return Moesi.INVALID
+    if tokens == total_tokens:
+        return Moesi.MODIFIED
+    if owner_token:
+        return Moesi.OWNED
+    return Moesi.SHARED

@@ -1,0 +1,31 @@
+"""Token Coherence: correctness substrate + performance protocols.
+
+This package is the paper's primary contribution, split exactly along
+the paper's own line:
+
+* :mod:`repro.core.tokens` / :mod:`repro.core.substrate` /
+  :mod:`repro.core.persistent` — the correctness substrate (safety by
+  token counting, starvation freedom by persistent requests);
+* :mod:`repro.core.tokenb` — the TokenB broadcast performance protocol;
+* :mod:`repro.core.null_protocol` — the degenerate policy showing the
+  substrate alone is sufficient for correctness.
+"""
+
+from repro.core.extensions import TokenDNode, TokenMNode
+from repro.core.null_protocol import NullTokenNode
+from repro.core.persistent import PersistentArbiter, PersistentSession
+from repro.core.substrate import TokenNodeBase
+from repro.core.tokenb import TokenBNode
+from repro.core.tokens import TokenInvariantError, TokenLedger
+
+__all__ = [
+    "NullTokenNode",
+    "TokenDNode",
+    "TokenMNode",
+    "PersistentArbiter",
+    "PersistentSession",
+    "TokenBNode",
+    "TokenInvariantError",
+    "TokenLedger",
+    "TokenNodeBase",
+]

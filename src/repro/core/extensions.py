@@ -1,0 +1,243 @@
+"""Section 7 extension performance protocols: TokenD and TokenM.
+
+The paper's key selling point is that *new* performance protocols can be
+built on the correctness substrate "without fear of corner-case
+correctness errors."  This module demonstrates exactly that with two of
+the Section 7 proposals, each a small subclass that changes only request
+routing policy:
+
+* :class:`TokenDNode` — "we can reduce the traffic to directory
+  protocol-like amounts by constructing a directory-like performance
+  protocol.  Processors first send transient requests to the home node,
+  and the home redirects the request to likely sharers and/or the owner
+  by using a 'soft state' directory [25]."  The soft-state directory is
+  just a guess: when it is wrong (silent evictions, races), requests
+  simply fail and the normal reissue/persistent machinery recovers —
+  no protocol changes needed.
+
+* :class:`TokenMNode` — "Token Coherence can use destination-set
+  prediction to achieve the performance of broadcast while using less
+  bandwidth by predicting a subset of processors to which to send
+  requests."  Each node predicts the block's current holders from the
+  token responses it has seen; a first reissue falls back to full
+  broadcast (the bandwidth-adaptive behaviour of [29]).
+
+Neither protocol touches a single line of the substrate: safety and
+starvation freedom are inherited, which is the paper's thesis made
+concrete.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cache.mshr import MshrEntry
+from repro.coherence.messages import CoherenceMessage
+from repro.coherence.migratory import MigratoryPredictor
+from repro.core.tokenb import TokenBNode
+
+#: ``tag`` value marking a request copy redirected by a TokenD home (so
+#: it is not redirected again).
+_REDIRECTED = 2
+
+
+@dataclasses.dataclass
+class _SoftDirEntry:
+    """Best-effort guess at a block's current holders (home-side)."""
+
+    owner: int | None = None  # None = memory probably owns
+    sharers: set[int] = dataclasses.field(default_factory=set)
+
+
+class TokenDNode(TokenBNode):
+    """Directory-like Token Coherence performance protocol (Section 7).
+
+    Transient requests go to the home node only; the home answers from
+    memory when it can and redirects the request to the predicted owner
+    (and, for exclusive requests, predicted sharers).  Wrong predictions
+    cost a reissue, never correctness.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._soft_dir: dict[int, _SoftDirEntry] = {}
+        # Owner-side migratory handoffs are invisible to the home's soft
+        # state (the owner token moves cache-to-cache), which would make
+        # every migratory block a misprediction loop.  TokenD therefore
+        # predicts migratory blocks at the *requester* and asks for
+        # exclusive permission up front, like the baseline protocols.
+        self.owner_side_migratory = False
+        self.predictor = MigratoryPredictor(self.config.migratory_optimization)
+
+    def _soft_entry(self, block: int) -> _SoftDirEntry:
+        entry = self._soft_dir.get(block)
+        if entry is None:
+            entry = _SoftDirEntry()
+            self._soft_dir[block] = entry
+        return entry
+
+    # -- issue policy: unicast to home --------------------------------
+
+    def _issue_transaction(self, entry: MshrEntry) -> None:
+        line = self.l2.lookup(entry.block, touch=False)
+        if entry.for_write:
+            self.predictor.note_store_miss(
+                entry.block, line is not None and line.tokens > 0
+            )
+        as_getm = entry.for_write or self.predictor.predicts_migratory(
+            entry.block
+        )
+        if not as_getm:
+            self.predictor.note_load_miss(entry.block)
+        entry.protocol["as_getm"] = as_getm
+        super()._issue_transaction(entry)
+
+    def _send_transient(self, entry: MshrEntry, category: str) -> None:
+        if entry.protocol.get("reissues", 0) > 0:
+            # Misprediction: adapt to TokenB's broadcast mode (the
+            # bandwidth-adaptive hybrid of Section 7 / [29]).
+            self.counters.add("softdir_fallback_broadcast")
+            super()._send_transient(entry, category)
+            return
+        mtype = "GETM" if entry.protocol.get("as_getm", entry.for_write) else "GETS"
+        msg = self.make_control(
+            dst=self.home_of(entry.block),
+            mtype=mtype,
+            block=entry.block,
+            requester=self.node_id,
+            category=category,
+            vnet="request",
+        )
+        self.send_msg(msg)
+
+    # -- home-side owner-token tracking ---------------------------------
+
+    def send_tokens(self, dst, block, tokens, owner, version, category,
+                    from_memory=False):
+        if owner and from_memory and self.is_home(block):
+            # The home just shipped the owner token: remember who to
+            # redirect future requests to.
+            soft = self._soft_entry(block)
+            soft.owner = dst
+            soft.sharers.add(dst)
+        super().send_tokens(
+            dst, block, tokens, owner, version, category,
+            from_memory=from_memory,
+        )
+
+    # -- home-side redirection -----------------------------------------
+
+    def _handle_transient(self, msg: CoherenceMessage) -> None:
+        if self.is_home(msg.block) and msg.tag != _REDIRECTED:
+            self._redirect_from_home(msg)
+        super()._handle_transient(msg)
+
+    def _redirect_from_home(self, msg: CoherenceMessage) -> None:
+        """Forward the request per the soft-state directory, then learn
+        from it."""
+        soft = self._soft_entry(msg.block)
+        targets: set[int] = set()
+        if soft.owner is not None:
+            targets.add(soft.owner)
+        if msg.mtype == "GETM":
+            targets |= soft.sharers
+        targets.discard(msg.requester)
+        targets.discard(self.node_id)
+        for target in sorted(targets):
+            copy = self.make_control(
+                dst=target,
+                mtype=msg.mtype,
+                block=msg.block,
+                requester=msg.requester,
+                category="forward",
+                vnet="forward",
+                tag=_REDIRECTED,
+            )
+            self.sim.schedule(
+                self.config.controller_latency_ns, self.send_msg, copy
+            )
+        # Learn: an exclusive requester becomes the sole predicted
+        # holder; a shared requester joins the sharer guess.
+        if msg.mtype == "GETM":
+            soft.owner = msg.requester
+            soft.sharers = {msg.requester}
+        else:
+            soft.sharers.add(msg.requester)
+            if soft.owner is None:
+                soft.owner = msg.requester
+
+    def _absorb_into_memory(self, msg: CoherenceMessage) -> None:
+        super()._absorb_into_memory(msg)
+        # Tokens coming home (writebacks): memory likely owns again.
+        if msg.owner_token:
+            soft = self._soft_entry(msg.block)
+            soft.owner = None
+            soft.sharers.discard(msg.src)
+
+
+class TokenMNode(TokenBNode):
+    """Destination-set-predicting Token Coherence protocol (Section 7).
+
+    First attempts multicast only to the predicted holder set (learned
+    from who sent us tokens) plus the home; reissues fall back to full
+    broadcast, so a cold or wrong predictor costs one timeout, not
+    correctness.
+    """
+
+    #: Cap on the predicted destination set (excluding the home).
+    max_predicted = 4
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: block -> recently observed token senders, newest last.
+        self._holder_predictor: dict[int, list[int]] = {}
+
+    # -- learning: whoever sends us tokens probably holds more ---------
+
+    def _handle_tokens(self, msg: CoherenceMessage) -> None:
+        if msg.src != self.node_id:
+            holders = self._holder_predictor.setdefault(msg.block, [])
+            if msg.src in holders:
+                holders.remove(msg.src)
+            holders.append(msg.src)
+            del holders[: -self.max_predicted]
+        super()._handle_tokens(msg)
+
+    def predicted_destinations(self, block: int) -> set[int]:
+        """The destination set for a first-attempt transient request."""
+        targets = set(self._holder_predictor.get(block, ()))
+        targets.add(self.home_of(block))
+        targets.discard(self.node_id)
+        return targets
+
+    # -- issue policy: multicast to the predicted set ------------------
+
+    def _send_transient(self, entry: MshrEntry, category: str) -> None:
+        holders = self._holder_predictor.get(entry.block)
+        if entry.protocol.get("reissues", 0) > 0 or not holders:
+            # Cold block or missed prediction: fall back to broadcast.
+            self.counters.add("destset_fallback_broadcast")
+            super()._send_transient(entry, category)
+            return
+        mtype = "GETM" if entry.for_write else "GETS"
+        for target in sorted(self.predicted_destinations(entry.block)):
+            msg = self.make_control(
+                dst=target,
+                mtype=mtype,
+                block=entry.block,
+                requester=self.node_id,
+                category=category,
+                vnet="request",
+            )
+            self.send_msg(msg)
+        if self.is_home(entry.block):
+            local = self.make_control(
+                dst=self.node_id,
+                mtype=mtype,
+                block=entry.block,
+                requester=self.node_id,
+                category=category,
+                vnet="request",
+            )
+            delay = self.config.controller_latency_ns + self.config.dram_latency_ns
+            self.sim.schedule(delay, self._memory_respond, local)

@@ -1,0 +1,138 @@
+"""Persistent-request arbiter (Section 3.2, Figure 3c).
+
+Each home memory module hosts one arbiter.  The arbiter serves queued
+persistent requests fairly (FIFO) and activates **at most one at a
+time** — which is exactly why each node's persistent-request table needs
+only one 8-byte entry per arbiter (512 bytes for a 64-node system).
+
+Arbiter state machine::
+
+    Idle --request--> Activating --last ack--> Active
+    Active --deactivate req--> Deactivating --last ack--> Idle (next in queue)
+
+Activation broadcasts ``PACT`` to every node (itself included); nodes
+record the entry, forward all present *and future* tokens for the block
+to the initiator, and acknowledge.  Deactivation mirrors this with
+``PDEACT``.  Both acknowledgment rounds exist "to eliminate races": the
+arbiter never overlaps two sessions, so a node's table entry for this
+arbiter is unambiguous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.interconnect.message import BROADCAST
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.substrate import TokenNodeBase
+
+
+@dataclasses.dataclass
+class PersistentSession:
+    """One activated persistent request."""
+
+    block: int
+    requester: int
+    tag: int
+
+
+class PersistentArbiter:
+    """The home node's persistent-request arbiter state machine."""
+
+    def __init__(self, node: "TokenNodeBase") -> None:
+        self.node = node
+        self.state = "idle"
+        self.queue: deque[PersistentSession] = deque()
+        self.current: PersistentSession | None = None
+        self._acks_outstanding = 0
+        self._deactivation_requested = False
+        self._session_tags = 0
+        self.sessions_served = 0
+
+    # ------------------------------------------------------------------
+    # Message entry points (called from the node's dispatcher)
+    # ------------------------------------------------------------------
+
+    def handle_request(self, block: int, requester: int) -> None:
+        """A PREQ arrived: queue it and start arbitration if idle."""
+        self._session_tags += 1
+        self.queue.append(PersistentSession(block, requester, self._session_tags))
+        if self.state == "idle":
+            self._activate_next()
+
+    def handle_activation_ack(self, src: int) -> None:
+        del src
+        if self.state != "activating":
+            raise RuntimeError(f"unexpected PACT_ACK in state {self.state}")
+        self._acks_outstanding -= 1
+        if self._acks_outstanding == 0:
+            self.state = "active"
+            if self._deactivation_requested:
+                self._begin_deactivation()
+
+    def handle_deactivate_request(self, block: int, requester: int) -> None:
+        """The initiator is satisfied and wants the session torn down."""
+        if self.current is None or self.current.block != block or (
+            self.current.requester != requester
+        ):
+            raise RuntimeError(
+                f"deactivate for ({block:#x}, P{requester}) does not match "
+                f"current session {self.current}"
+            )
+        if self.state == "activating":
+            # Initiator satisfied before all activation acks arrived;
+            # finish the handshake first, then deactivate.
+            self._deactivation_requested = True
+            return
+        if self.state != "active":
+            raise RuntimeError(f"unexpected PDEACT_REQ in state {self.state}")
+        self._begin_deactivation()
+
+    def handle_deactivation_ack(self, src: int) -> None:
+        del src
+        if self.state != "deactivating":
+            raise RuntimeError(f"unexpected PDEACT_ACK in state {self.state}")
+        self._acks_outstanding -= 1
+        if self._acks_outstanding == 0:
+            self.sessions_served += 1
+            self.current = None
+            self._activate_next()
+
+    # ------------------------------------------------------------------
+
+    def _activate_next(self) -> None:
+        if not self.queue:
+            self.state = "idle"
+            return
+        self.current = self.queue.popleft()
+        self.state = "activating"
+        self._deactivation_requested = False
+        self._acks_outstanding = self.node.config.n_procs
+        msg = self.node.make_control(
+            dst=BROADCAST,
+            mtype="PACT",
+            block=self.current.block,
+            requester=self.current.requester,
+            tag=self.current.tag,
+            category="persistent",
+            vnet="persistent",
+        )
+        self.node.broadcast_msg(msg, include_self=True)
+
+    def _begin_deactivation(self) -> None:
+        assert self.current is not None
+        self.state = "deactivating"
+        self._acks_outstanding = self.node.config.n_procs
+        msg = self.node.make_control(
+            dst=BROADCAST,
+            mtype="PDEACT",
+            block=self.current.block,
+            requester=self.current.requester,
+            tag=self.current.tag,
+            category="persistent",
+            vnet="persistent",
+        )
+        self.node.broadcast_msg(msg, include_self=True)

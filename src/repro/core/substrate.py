@@ -1,0 +1,522 @@
+"""Correctness substrate: per-node token mechanics (Section 3).
+
+:class:`TokenNodeBase` implements everything the paper assigns to the
+*correctness substrate* — the part that guarantees safety and starvation
+freedom no matter what the performance protocol does:
+
+* token storage in the cache (tag state) and home memory (ECC bits);
+* the valid-data bit and the optimized invariants #1'-#4' (Section 3.1);
+* acceptance, redirection, and eviction of tokens ("important freedom in
+  what the invariants do not specify");
+* the persistent-request table (one entry per arbiter), activation /
+  deactivation handling, and forwarding of present-and-future tokens to
+  an active initiator (Section 3.2);
+* the arbiter for blocks homed at this node.
+
+Performance protocols subclass this and supply only *policy*: when to
+issue transient requests and how to respond to them
+(:class:`~repro.core.tokenb.TokenBNode` for the paper's TokenB;
+:class:`~repro.core.null_protocol.NullTokenNode` for the degenerate
+protocol the paper argues is still correct).  Policy hooks can fail or
+do nothing without compromising safety — that is the decoupling the
+paper's title promises, reproduced in the class split.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cache.cache import CacheLine
+from repro.cache.mshr import MshrEntry
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.controller import ProtocolError, ProtocolNode
+from repro.coherence.messages import CoherenceMessage
+from repro.core.persistent import PersistentArbiter
+from repro.core.tokens import TokenInvariantError, TokenLedger
+from repro.interconnect.topology import Interconnect
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Counter, LatencyTracker
+from repro.config import SystemConfig
+
+
+@dataclasses.dataclass
+class _MemoryTokens:
+    """Home memory's token state for one block (kept in ECC bits)."""
+
+    tokens: int
+    owner: bool
+    valid: bool
+
+
+@dataclasses.dataclass
+class _TableEntry:
+    """A remembered persistent request (8 bytes of hardware per arbiter)."""
+
+    arbiter: int
+    block: int
+    requester: int
+    tag: int
+
+
+class TokenNodeBase(ProtocolNode):
+    """Substrate mechanics shared by every Token Coherence node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Interconnect,
+        config: SystemConfig,
+        checker: CoherenceChecker,
+        counters: Counter,
+        ledger: TokenLedger,
+    ) -> None:
+        super().__init__(node_id, sim, network, config, checker, counters)
+        self.total_tokens = config.total_tokens
+        self.ledger = ledger
+        ledger.register_holder(self)
+        self.arbiter = PersistentArbiter(self)
+        #: Persistent-request table: one entry per arbiter (Section 3.2).
+        self._table_by_arbiter: dict[int, _TableEntry] = {}
+        self._table_by_block: dict[int, _TableEntry] = {}
+        #: This node's own outstanding persistent requests, by block.
+        self._my_persistent: dict[int, dict] = {}
+        #: Home memory token state, lazily "all tokens at home".
+        self._memory: dict[int, _MemoryTokens] = {}
+        self.miss_latency = LatencyTracker(initial=4 * config.link_latency_ns * 4)
+
+    # ------------------------------------------------------------------
+    # Token ledger interface
+    # ------------------------------------------------------------------
+
+    def tokens_held(self, block: int) -> tuple[int, int]:
+        """(tokens, owner-count) currently held by this node."""
+        tokens = 0
+        owners = 0
+        line = self.l2.lookup(block, touch=False)
+        if line is not None:
+            tokens += line.tokens
+            owners += 1 if line.owner_token else 0
+        if self.is_home(block):
+            mem = self._memory_state(block)
+            tokens += mem.tokens
+            owners += 1 if mem.owner else 0
+        return tokens, owners
+
+    def _memory_state(self, block: int) -> _MemoryTokens:
+        if not self.is_home(block):
+            raise ProtocolError(f"node {self.node_id} is not home for {block:#x}")
+        mem = self._memory.get(block)
+        if mem is None:
+            mem = _MemoryTokens(self.total_tokens, True, True)
+            self._memory[block] = mem
+        return mem
+
+    # ------------------------------------------------------------------
+    # Permission predicates (Invariants #2' and #3')
+    # ------------------------------------------------------------------
+
+    def _line_can_read(self, line: CacheLine) -> bool:
+        return line.tokens >= 1 and line.valid_data
+
+    def _line_can_write(self, line: CacheLine) -> bool:
+        return line.tokens == self.total_tokens
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def handle_message(self, msg: CoherenceMessage) -> None:
+        mtype = msg.mtype
+        if mtype in ("GETS", "GETM"):
+            self._handle_transient(msg)
+        elif mtype in ("TOKEN_DATA", "TOKEN_ONLY"):
+            self._handle_tokens(msg)
+        elif mtype == "PREQ":
+            self.arbiter.handle_request(msg.block, msg.requester)
+        elif mtype == "PACT":
+            self._handle_activation(msg)
+        elif mtype == "PACT_ACK":
+            self.arbiter.handle_activation_ack(msg.src)
+        elif mtype == "PDEACT_REQ":
+            self.arbiter.handle_deactivate_request(msg.block, msg.requester)
+        elif mtype == "PDEACT":
+            self._handle_deactivation(msg)
+        elif mtype == "PDEACT_ACK":
+            self.arbiter.handle_deactivation_ack(msg.src)
+        else:
+            raise ProtocolError(f"token node got unknown mtype {mtype!r}")
+
+    # ------------------------------------------------------------------
+    # Transient requests: timing, then defer to the performance policy
+    # ------------------------------------------------------------------
+
+    def _handle_transient(self, msg: CoherenceMessage) -> None:
+        # Cache-side snoop costs an L2 tag access; memory-side response
+        # needs the controller plus the DRAM (data + ECC token state).
+        self.sim.schedule(self.config.l2_latency_ns, self._cache_respond, msg)
+        if self.is_home(msg.block):
+            delay = self.config.controller_latency_ns + self.config.dram_latency_ns
+            self.sim.schedule(delay, self._memory_respond, msg)
+
+    def _cache_respond(self, msg: CoherenceMessage) -> None:
+        """Performance-protocol policy hook (Section 4.1: the protocol
+        asks the substrate to respond on its behalf)."""
+        del msg
+
+    def _memory_respond(self, msg: CoherenceMessage) -> None:
+        """Performance-protocol policy hook for the home memory."""
+        del msg
+
+    # ------------------------------------------------------------------
+    # Token movement (the safety-critical part)
+    # ------------------------------------------------------------------
+
+    def send_tokens(
+        self,
+        dst: int,
+        block: int,
+        tokens: int,
+        owner: bool,
+        version: int | None,
+        category: str,
+        from_memory: bool = False,
+    ) -> None:
+        """Emit a token-carrying coherence message (Invariant #4').
+
+        The owner token must travel with data; non-owner tokens may move
+        datalessly (the bandwidth optimization of Section 3.1).
+        """
+        if tokens < 1:
+            raise TokenInvariantError("cannot send a message with zero tokens")
+        if owner and version is None:
+            raise TokenInvariantError(
+                "owner token must travel with data (Invariant #4')"
+            )
+        common = dict(
+            dst=dst,
+            block=block,
+            tokens=tokens,
+            owner_token=owner,
+            category=category,
+            vnet="response",
+            tag=1 if from_memory else 0,
+        )
+        if version is not None:
+            msg = self.make_data(mtype="TOKEN_DATA", data_version=version, **common)
+        else:
+            msg = self.make_control(mtype="TOKEN_ONLY", **common)
+        self.ledger.message_sent(block, tokens, owner)
+        self.send_msg(msg)
+
+    def _handle_tokens(self, msg: CoherenceMessage) -> None:
+        block = msg.block
+        self.ledger.message_received(block, msg.tokens, msg.owner_token)
+        entry = self._table_by_block.get(block)
+        if entry is not None and entry.requester != self.node_id:
+            # Active persistent request: forward "those tokens ...
+            # received in the future" straight to the initiator.
+            self.send_tokens(
+                entry.requester,
+                block,
+                msg.tokens,
+                msg.owner_token,
+                msg.data_version,
+                category="data" if msg.carries_data() else "token",
+                from_memory=bool(msg.tag),
+            )
+            return
+        self._absorb_tokens(msg)
+
+    def _absorb_tokens(self, msg: CoherenceMessage) -> None:
+        block = msg.block
+        if (
+            block in self.mshrs
+            or self.l2.contains(block)
+            or self.l2.set_has_room(block)
+        ):
+            self._absorb_into_cache(msg)
+        elif self.is_home(block):
+            self._absorb_into_memory(msg)
+        else:
+            # No room to cache them: redirect to the home memory (the
+            # substrate's freedom to re-route tokens, Section 3.1).
+            self.send_tokens(
+                self.home_of(block),
+                block,
+                msg.tokens,
+                msg.owner_token,
+                msg.data_version,
+                category="data" if msg.carries_data() else "token",
+            )
+
+    def _absorb_into_cache(self, msg: CoherenceMessage) -> None:
+        block = msg.block
+        line = self._install_line(block)
+        had_valid = line.valid_data
+        line.tokens += msg.tokens
+        if line.tokens > self.total_tokens:
+            raise TokenInvariantError(
+                f"block {block:#x}: cache accumulated {line.tokens} > T"
+            )
+        if msg.owner_token:
+            if line.owner_token:
+                raise TokenInvariantError(
+                    f"block {block:#x}: duplicate owner token"
+                )
+            line.owner_token = True
+        if msg.carries_data():
+            if had_valid and line.version != msg.data_version:
+                raise TokenInvariantError(
+                    f"block {block:#x}: valid copies disagree "
+                    f"(v{line.version} vs v{msg.data_version})"
+                )
+            line.version = msg.data_version
+            line.valid_data = True
+        if msg.tag:
+            # Remember the data source for miss classification.
+            mshr = self.mshrs.get(block)
+            if mshr is not None and msg.carries_data():
+                mshr.protocol["data_source"] = "memory"
+        elif msg.carries_data():
+            mshr = self.mshrs.get(block)
+            if mshr is not None:
+                mshr.protocol["data_source"] = "cache"
+        self._after_token_gain(block)
+
+    def _absorb_into_memory(self, msg: CoherenceMessage) -> None:
+        mem = self._memory_state(msg.block)
+        mem.tokens += msg.tokens
+        if mem.tokens > self.total_tokens:
+            raise TokenInvariantError(
+                f"block {msg.block:#x}: memory accumulated {mem.tokens} > T"
+            )
+        if msg.owner_token:
+            if mem.owner:
+                raise TokenInvariantError(
+                    f"block {msg.block:#x}: duplicate owner token at memory"
+                )
+            mem.owner = True
+        if msg.carries_data():
+            if mem.valid and self.dram.version_of(msg.block) != msg.data_version:
+                raise TokenInvariantError(
+                    f"block {msg.block:#x}: memory valid copy disagrees"
+                )
+            self.dram.store_version(msg.block, msg.data_version)
+            mem.valid = True
+
+    def _after_token_gain(self, block: int) -> None:
+        """Check whether an outstanding miss is now satisfied."""
+        entry = self.mshrs.get(block)
+        line = self.l2.lookup(block, touch=False)
+        if entry is None or line is None:
+            return
+        if entry.for_write:
+            satisfied = line.tokens == self.total_tokens and line.valid_data
+        else:
+            satisfied = line.tokens >= 1 and line.valid_data
+        if satisfied:
+            self._complete_token_transaction(entry)
+
+    def _complete_token_transaction(self, entry: MshrEntry) -> None:
+        timer = entry.protocol.get("timer")
+        if timer is not None:
+            timer.cancel()
+            entry.protocol["timer"] = None
+        self.miss_latency.record(self.sim.now - entry.issued_at)
+        source = entry.protocol.get("data_source")
+        if source:
+            self.counters.add(f"data_from_{source}")
+        block = entry.block
+        self._finish_mshr(entry)
+        if block in self._my_persistent:
+            self._my_persistent_satisfied(block)
+
+    def _record_miss_class(self, entry: MshrEntry) -> None:
+        """Table 2 classification (mutually exclusive buckets)."""
+        if entry.protocol.get("persistent"):
+            self.counters.add("miss_persistent")
+        else:
+            reissues = entry.protocol.get("reissues", 0)
+            if reissues == 0:
+                self.counters.add("miss_not_reissued")
+            elif reissues == 1:
+                self.counters.add("miss_reissued_once")
+            else:
+                self.counters.add("miss_reissued_multi")
+
+    # ------------------------------------------------------------------
+    # Cache line release paths
+    # ------------------------------------------------------------------
+
+    def _token_destination(self, block: int) -> int:
+        """Where released tokens must go: an active persistent initiator
+        takes precedence over the home memory."""
+        entry = self._table_by_block.get(block)
+        if entry is not None and entry.requester != self.node_id:
+            return entry.requester
+        return self.home_of(block)
+
+    def release_line_tokens(
+        self, line: CacheLine, dst: int, category: str
+    ) -> None:
+        """Send all of a line's tokens to ``dst`` and drop the line."""
+        block = line.block
+        if line.tokens > 0:
+            version = line.version if line.owner_token else None
+            self.send_tokens(
+                dst, block, line.tokens, line.owner_token, version, category
+            )
+        self._drop_line(block)
+
+    def _evict_line(self, line: CacheLine) -> None:
+        """Eviction: send all tokens (and data if owner) away.
+
+        "To evict a block from a cache, the processor simply sends all
+        its tokens (and data if the message includes the owner token) to
+        the memory" — or to an active persistent initiator.
+        """
+        category = "writeback" if line.owner_token else "token"
+        self.release_line_tokens(line, self._token_destination(line.block), category)
+
+    def _line_evictable(self, line: CacheLine) -> bool:
+        # Never displace a block we hold under our own persistent request.
+        return line.block not in self._my_persistent
+
+    # ------------------------------------------------------------------
+    # Persistent requests: node side (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def invoke_persistent_request(self, entry: MshrEntry) -> None:
+        """Escalate a starving miss to the persistent-request mechanism."""
+        block = entry.block
+        if block in self._my_persistent:
+            return
+        entry.protocol["persistent"] = True
+        self.counters.add("persistent_request")
+        self._my_persistent[block] = {"state": "requested", "satisfied": False}
+        msg = self.make_control(
+            dst=self.home_of(block),
+            mtype="PREQ",
+            block=block,
+            requester=self.node_id,
+            category="persistent",
+            vnet="persistent",
+        )
+        self.send_msg(msg)
+
+    def _handle_activation(self, msg: CoherenceMessage) -> None:
+        arbiter = msg.src
+        if arbiter in self._table_by_arbiter:
+            raise ProtocolError(
+                f"arbiter {arbiter} activated a second persistent request "
+                "before deactivating the first"
+            )
+        entry = _TableEntry(arbiter, msg.block, msg.requester, msg.tag)
+        self._table_by_arbiter[arbiter] = entry
+        self._table_by_block[msg.block] = entry
+        if msg.requester == self.node_id:
+            mine = self._my_persistent.get(msg.block)
+            if mine is not None:
+                mine["state"] = "active"
+                if mine["satisfied"]:
+                    self._send_deactivate_request(msg.block)
+            # A home-node initiator still needs the tokens its own
+            # memory holds: move them into the local cache.
+            if self.is_home(msg.block):
+                self._forward_memory_tokens(msg.block, self.node_id)
+        else:
+            self._forward_held_tokens(entry)
+        ack = self.make_control(
+            dst=arbiter,
+            mtype="PACT_ACK",
+            block=msg.block,
+            category="persistent",
+            vnet="persistent",
+        )
+        self.send_msg(ack)
+
+    def _forward_held_tokens(self, entry: _TableEntry) -> None:
+        """Send every token this node holds for the block to the initiator."""
+        block = entry.block
+        line = self.l2.lookup(block, touch=False)
+        if line is not None and line.tokens > 0:
+            # A forwarded line may be mid-miss here; the MSHR (if any)
+            # stays outstanding and will be satisfied later or escalate.
+            category = "data" if line.owner_token else "token"
+            self.release_line_tokens(line, entry.requester, category)
+        elif line is not None:
+            self._drop_line(block)
+        if self.is_home(block):
+            self._forward_memory_tokens(block, entry.requester)
+
+    def _forward_memory_tokens(self, block: int, dst: int) -> None:
+        """Ship the home memory's tokens for ``block`` to ``dst``."""
+        mem = self._memory_state(block)
+        if mem.tokens == 0:
+            return
+        if mem.owner and not mem.valid:
+            raise TokenInvariantError(
+                f"memory owns block {block:#x} without valid data"
+            )
+        version = self.dram.version_of(block) if mem.owner else None
+        self.send_tokens(
+            dst,
+            block,
+            mem.tokens,
+            mem.owner,
+            version,
+            category="data" if mem.owner else "token",
+            from_memory=True,
+        )
+        mem.tokens = 0
+        mem.owner = False
+        mem.valid = False
+
+    def _handle_deactivation(self, msg: CoherenceMessage) -> None:
+        arbiter = msg.src
+        entry = self._table_by_arbiter.pop(arbiter, None)
+        if entry is None:
+            raise ProtocolError(f"PDEACT from {arbiter} with no table entry")
+        if self._table_by_block.get(entry.block) is entry:
+            del self._table_by_block[entry.block]
+        if msg.requester == self.node_id:
+            self._my_persistent.pop(msg.block, None)
+        ack = self.make_control(
+            dst=arbiter,
+            mtype="PDEACT_ACK",
+            block=msg.block,
+            category="persistent",
+            vnet="persistent",
+        )
+        self.send_msg(ack)
+
+    def _my_persistent_satisfied(self, block: int) -> None:
+        mine = self._my_persistent.get(block)
+        if mine is None or mine["satisfied"]:
+            return
+        mine["satisfied"] = True
+        if mine["state"] == "active":
+            self._send_deactivate_request(block)
+
+    def _send_deactivate_request(self, block: int) -> None:
+        msg = self.make_control(
+            dst=self.home_of(block),
+            mtype="PDEACT_REQ",
+            block=block,
+            requester=self.node_id,
+            category="persistent",
+            vnet="persistent",
+        )
+        self.send_msg(msg)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and examples)
+    # ------------------------------------------------------------------
+
+    def persistent_entry_for(self, block: int) -> _TableEntry | None:
+        return self._table_by_block.get(block)
+
+    def memory_tokens(self, block: int) -> tuple[int, bool, bool]:
+        mem = self._memory_state(block)
+        return mem.tokens, mem.owner, mem.valid

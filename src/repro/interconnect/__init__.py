@@ -1,0 +1,46 @@
+"""Interconnection networks: ordered broadcast tree and unordered torus."""
+
+from repro.interconnect.link import Link
+from repro.interconnect.message import (
+    BROADCAST,
+    CONTROL_MESSAGE_BYTES,
+    DATA_BLOCK_BYTES,
+    DATA_MESSAGE_BYTES,
+    Message,
+)
+from repro.interconnect.topology import Interconnect
+from repro.interconnect.tree import ORDERED_VNET, OrderedTreeInterconnect
+from repro.interconnect.torus import TorusInterconnect, torus_dims
+
+__all__ = [
+    "BROADCAST",
+    "CONTROL_MESSAGE_BYTES",
+    "DATA_BLOCK_BYTES",
+    "DATA_MESSAGE_BYTES",
+    "Interconnect",
+    "Link",
+    "Message",
+    "ORDERED_VNET",
+    "OrderedTreeInterconnect",
+    "TorusInterconnect",
+    "build_interconnect",
+    "torus_dims",
+]
+
+
+def build_interconnect(
+    kind: str,
+    sim,
+    n_nodes: int,
+    link_latency: float,
+    link_bandwidth: float | None,
+    traffic=None,
+):
+    """Factory: ``kind`` is ``"tree"`` or ``"torus"``."""
+    if kind == "tree":
+        return OrderedTreeInterconnect(
+            sim, n_nodes, link_latency, link_bandwidth, traffic
+        )
+    if kind == "torus":
+        return TorusInterconnect(sim, n_nodes, link_latency, link_bandwidth, traffic)
+    raise ValueError(f"unknown interconnect kind {kind!r}")

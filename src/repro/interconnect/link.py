@@ -1,0 +1,83 @@
+"""Point-to-point link with bandwidth (serialization) and latency.
+
+Each link models one direction of a physical channel: a message occupies
+the link for ``size_bytes / bandwidth`` ns (serialization), then arrives
+``latency`` ns later.  Links are FIFO — serialization slots are granted in
+send order, and since latency is constant, arrival order matches send
+order.  Passing ``bandwidth=None`` models the paper's "unlimited
+bandwidth" configuration (zero serialization, latency only).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import Simulator
+from repro.sim.stats import TrafficMeter
+
+
+class Link:
+    """One directed link of the interconnect.
+
+    Args:
+        sim: The simulation kernel.
+        name: Human-readable identifier, e.g. ``"up[3]"`` or ``"x+(1,2)"``.
+        latency: Propagation latency in ns (Table 1: 15 ns, including
+            wire, synchronization, and routing).
+        bandwidth: Bytes per ns (Table 1: 3.2), or ``None`` for unlimited.
+        traffic: Optional meter recording every crossing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency: float,
+        bandwidth: float | None,
+        traffic: TrafficMeter | None = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError("latency must be nonnegative")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive or None")
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.traffic = traffic
+        self._free_at = 0.0
+        self._crossings = 0
+
+    @property
+    def crossings(self) -> int:
+        """Number of messages that have traversed this link."""
+        return self._crossings
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the link's serialization slot frees up."""
+        return self._free_at
+
+    def send(
+        self,
+        size_bytes: int,
+        category: str,
+        deliver: Callable[..., None],
+        *args: Any,
+    ) -> float:
+        """Transmit a message; invoke ``deliver(*args)`` on arrival.
+
+        Returns the arrival time (useful for tests).
+        """
+        start = max(self.sim.now, self._free_at)
+        if self.bandwidth is not None:
+            serialization = size_bytes / self.bandwidth
+        else:
+            serialization = 0.0
+        self._free_at = start + serialization
+        arrival = start + serialization + self.latency
+        self._crossings += 1
+        if self.traffic is not None:
+            self.traffic.record_crossing(category, size_bytes)
+        self.sim.schedule_at(arrival, deliver, *args)
+        return arrival

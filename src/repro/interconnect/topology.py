@@ -1,0 +1,87 @@
+"""Interconnect interface shared by the tree and torus topologies.
+
+Protocol controllers interact with the network only through
+:meth:`Interconnect.send` (unicast) and :meth:`Interconnect.broadcast`
+(tree-based multicast to all nodes), and receive messages through the
+handler registered with :meth:`attach`.  Nothing above this layer knows
+about switches, links, or routing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.interconnect.message import Message
+from repro.sim.kernel import Simulator
+from repro.sim.stats import TrafficMeter
+
+MessageHandler = Callable[[Message], None]
+
+
+class Interconnect(abc.ABC):
+    """Abstract N-node interconnection network."""
+
+    #: True if the network delivers ordered-vnet broadcasts in a single
+    #: global total order observed identically by every node (required by
+    #: traditional snooping; the tree provides it, the torus does not).
+    provides_total_order: bool = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        link_latency: float,
+        link_bandwidth: float | None,
+        traffic: TrafficMeter | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError("an interconnect needs at least 2 nodes")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.link_latency = link_latency
+        self.link_bandwidth = link_bandwidth
+        self.traffic = traffic if traffic is not None else TrafficMeter()
+        self._handlers: dict[int, MessageHandler] = {}
+
+    def attach(self, node_id: int, handler: MessageHandler) -> None:
+        """Register the message handler for ``node_id``."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node_id {node_id} out of range")
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already attached")
+        self._handlers[node_id] = handler
+
+    def _deliver(self, node_id: int, msg: Message) -> None:
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            raise RuntimeError(f"no handler attached to node {node_id}")
+        handler(msg)
+
+    @abc.abstractmethod
+    def send(self, msg: Message) -> None:
+        """Route a unicast message from ``msg.src`` to ``msg.dst``."""
+
+    @abc.abstractmethod
+    def broadcast(self, msg: Message, include_self: bool = False) -> None:
+        """Multicast ``msg`` from ``msg.src`` to every node.
+
+        ``include_self`` controls whether the sender receives its own copy
+        (traditional snooping requires it to establish the order point).
+        """
+
+    @abc.abstractmethod
+    def unicast_hops(self, src: int, dst: int) -> int:
+        """Number of link crossings on the unicast route (for tests)."""
+
+    def average_unicast_hops(self) -> float:
+        """Mean unicast crossings over all (src, dst) pairs, self included.
+
+        Figure 1 quotes this as 4 for the 16-node tree and 2 for the 4x4
+        torus.
+        """
+        total = 0
+        for src in range(self.n_nodes):
+            for dst in range(self.n_nodes):
+                total += self.unicast_hops(src, dst)
+        return total / (self.n_nodes * self.n_nodes)

@@ -1,0 +1,178 @@
+"""Totally-ordered two-level broadcast tree (Figure 1a).
+
+The 16-node configuration uses nine discrete switches: four *incoming*
+switches (fan-in 4), one *root*, and four *outgoing* switches (fan-out 4).
+Every message — unicast or broadcast — crosses exactly four links:
+
+    node -> incoming switch -> root -> outgoing switch -> node
+
+The root switch makes this interconnect a "virtual bus": it stamps every
+broadcast on an ordered virtual network with a global sequence number, and
+because all downstream links are FIFO with identical latency, every node
+observes those broadcasts in exactly root order.  A per-node reorder stage
+additionally *enforces* sequence order at delivery, so protocol code may
+rely on the total order unconditionally.  This is the ordering property
+traditional snooping requires (Section 2) and the one the torus lacks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.interconnect.link import Link
+from repro.interconnect.message import Message
+from repro.interconnect.topology import Interconnect
+from repro.sim.kernel import Simulator
+from repro.sim.stats import TrafficMeter
+
+#: Virtual networks whose broadcasts receive (and are delivered in) the
+#: root-assigned total order.
+ORDERED_VNET = "ordered"
+
+
+class OrderedTreeInterconnect(Interconnect):
+    """Two-level indirect tree with a sequencing root switch."""
+
+    provides_total_order = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        link_latency: float,
+        link_bandwidth: float | None,
+        traffic: TrafficMeter | None = None,
+        fanout: int = 4,
+    ) -> None:
+        super().__init__(sim, n_nodes, link_latency, link_bandwidth, traffic)
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.fanout = fanout
+        self.n_groups = math.ceil(n_nodes / fanout)
+
+        def link(name: str) -> Link:
+            return Link(sim, name, link_latency, link_bandwidth, self.traffic)
+
+        self._up = [link(f"up[{i}]") for i in range(n_nodes)]
+        self._in_root = [link(f"in_root[{g}]") for g in range(self.n_groups)]
+        self._root_out = [link(f"root_out[{g}]") for g in range(self.n_groups)]
+        self._down = [link(f"down[{i}]") for i in range(n_nodes)]
+
+        self._next_order_seq = 0
+        self._expected_seq = [0] * n_nodes
+        self._reorder: list[dict[int, Message]] = [{} for _ in range(n_nodes)]
+
+    def group_of(self, node_id: int) -> int:
+        """Index of the leaf switch pair serving ``node_id``."""
+        return node_id // self.fanout
+
+    def _group_members(self, group: int) -> list[int]:
+        lo = group * self.fanout
+        return list(range(lo, min(lo + self.fanout, self.n_nodes)))
+
+    # ------------------------------------------------------------------
+    # Unicast
+    # ------------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        if msg.is_broadcast():
+            raise ValueError("use broadcast() for broadcast messages")
+        if msg.vnet == ORDERED_VNET:
+            raise ValueError(
+                "ordered vnet carries only broadcasts (total-order contract)"
+            )
+        if msg.src == msg.dst:
+            # Node-local traffic never leaves the integrated node.
+            self.sim.schedule(0.0, self._deliver, msg.dst, msg)
+            return
+        self._up[msg.src].send(
+            msg.size_bytes, msg.category, self._unicast_at_in_switch, msg
+        )
+
+    def _unicast_at_in_switch(self, msg: Message) -> None:
+        self._in_root[self.group_of(msg.src)].send(
+            msg.size_bytes, msg.category, self._unicast_at_root, msg
+        )
+
+    def _unicast_at_root(self, msg: Message) -> None:
+        self._root_out[self.group_of(msg.dst)].send(
+            msg.size_bytes, msg.category, self._unicast_at_out_switch, msg
+        )
+
+    def _unicast_at_out_switch(self, msg: Message) -> None:
+        self._down[msg.dst].send(
+            msg.size_bytes, msg.category, self._deliver, msg.dst, msg
+        )
+
+    # ------------------------------------------------------------------
+    # Broadcast
+    # ------------------------------------------------------------------
+
+    def broadcast(self, msg: Message, include_self: bool = False) -> None:
+        """Broadcast via the root.
+
+        Ordered-vnet broadcasts are always delivered to the sender too:
+        a snooping requester must observe its own request to learn its
+        place in the total order, and per-node sequence accounting relies
+        on every node seeing every ordered broadcast.
+        """
+        if msg.vnet == ORDERED_VNET:
+            include_self = True
+        self._up[msg.src].send(
+            msg.size_bytes,
+            msg.category,
+            self._broadcast_at_in_switch,
+            msg,
+            include_self,
+        )
+
+    def _broadcast_at_in_switch(self, msg: Message, include_self: bool) -> None:
+        self._in_root[self.group_of(msg.src)].send(
+            msg.size_bytes, msg.category, self._broadcast_at_root, msg, include_self
+        )
+
+    def _broadcast_at_root(self, msg: Message, include_self: bool) -> None:
+        if msg.vnet == ORDERED_VNET:
+            msg.ordered_seq = self._next_order_seq
+            self._next_order_seq += 1
+        for group in range(self.n_groups):
+            self._root_out[group].send(
+                msg.size_bytes,
+                msg.category,
+                self._broadcast_at_out_switch,
+                msg,
+                group,
+                include_self,
+            )
+
+    def _broadcast_at_out_switch(
+        self, msg: Message, group: int, include_self: bool
+    ) -> None:
+        for node in self._group_members(group):
+            if node == msg.src and not include_self:
+                continue
+            self._down[node].send(
+                msg.size_bytes, msg.category, self._arrive_at_node, node, msg
+            )
+
+    def _arrive_at_node(self, node: int, msg: Message) -> None:
+        if msg.ordered_seq is None:
+            self._deliver(node, msg)
+            return
+        # Enforce total order: deliver strictly by root sequence number.
+        self._reorder[node][msg.ordered_seq] = msg
+        while self._expected_seq[node] in self._reorder[node]:
+            seq = self._expected_seq[node]
+            self._expected_seq[node] += 1
+            self._deliver(node, self._reorder[node].pop(seq))
+
+    # ------------------------------------------------------------------
+
+    def unicast_hops(self, src: int, dst: int) -> int:
+        """Every tree route crosses four links (Figure 1a)."""
+        del src, dst
+        return 4
+
+    def broadcast_crossings(self) -> int:
+        """Link crossings per full broadcast: 2 up + groups + N down."""
+        return 2 + self.n_groups + self.n_nodes

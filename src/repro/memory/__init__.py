@@ -1,0 +1,6 @@
+"""Memory substrate: address mapping and DRAM."""
+
+from repro.memory.address import DEFAULT_BLOCK_BYTES, AddressMap
+from repro.memory.dram import Dram
+
+__all__ = ["AddressMap", "DEFAULT_BLOCK_BYTES", "Dram"]

@@ -1,0 +1,42 @@
+"""Physical address decomposition and home-node mapping.
+
+The globally shared memory is block-interleaved across the integrated
+memory controllers: ``home(block) = block mod n_nodes``, matching the
+glueless designs the paper targets (each node owns a slice of memory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+DEFAULT_BLOCK_BYTES = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressMap:
+    """Maps byte addresses to cache blocks and blocks to home nodes."""
+
+    n_nodes: int
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.block_bytes < 1 or self.block_bytes & (self.block_bytes - 1):
+            raise ValueError("block_bytes must be a positive power of two")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.block_bytes.bit_length() - 1
+
+    def block_of(self, address: int) -> int:
+        """Cache-block number containing a byte address."""
+        return address >> self.offset_bits
+
+    def address_of(self, block: int) -> int:
+        """First byte address of a block."""
+        return block << self.offset_bits
+
+    def home_of(self, block: int) -> int:
+        """Node whose memory controller owns this block."""
+        return block % self.n_nodes

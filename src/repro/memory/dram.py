@@ -1,0 +1,43 @@
+"""DRAM timing and backing-store model.
+
+Timing is a fixed access latency (Table 1: 80 ns for 2 GB of DRAM); the
+same latency covers a DRAM-resident directory or ECC-encoded token-state
+lookup, since those ride along with the data access.  The backing store
+maps blocks to data *versions* — the integer payloads the coherence
+checker uses in place of real 64-byte data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import Simulator
+
+
+class Dram:
+    """Per-node DRAM slice: latency model plus version storage."""
+
+    def __init__(self, sim: Simulator, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency must be nonnegative")
+        self.sim = sim
+        self.latency = latency
+        self._versions: dict[int, int] = {}
+        self._accesses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self._accesses
+
+    def version_of(self, block: int) -> int:
+        """Current stored data version (0 = never written)."""
+        return self._versions.get(block, 0)
+
+    def store_version(self, block: int, version: int) -> None:
+        """Write back a block's data version."""
+        self._versions[block] = version
+
+    def access(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback`` after one DRAM access latency."""
+        self._accesses += 1
+        self.sim.schedule(self.latency, callback, *args)

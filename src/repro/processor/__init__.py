@@ -1,0 +1,5 @@
+"""Processor-side sequencer and memory operations."""
+
+from repro.processor.sequencer import MemoryOp, Sequencer
+
+__all__ = ["MemoryOp", "Sequencer"]

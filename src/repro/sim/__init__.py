@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel, statistics, and RNG utilities."""
+
+from repro.sim.events import Event
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.rng import ExponentialBackoff, derive_rng
+from repro.sim.stats import Counter, LatencyTracker, TrafficMeter
+
+__all__ = [
+    "Counter",
+    "Event",
+    "ExponentialBackoff",
+    "LatencyTracker",
+    "SimulationError",
+    "Simulator",
+    "TrafficMeter",
+    "derive_rng",
+]

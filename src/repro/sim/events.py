@@ -1,0 +1,39 @@
+"""Event objects for the discrete-event simulation kernel.
+
+The kernel (see :mod:`repro.sim.kernel`) orders events by ``(time, seq)``
+where ``seq`` is a monotonically increasing insertion counter.  The counter
+makes the simulation fully deterministic: two events scheduled for the same
+instant always fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Absolute simulation time (ns) at which the event fires.
+        seq: Insertion sequence number used as a deterministic tie-break.
+        callback: Callable invoked when the event fires.
+        args: Positional arguments passed to ``callback``.
+        cancelled: Cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = dataclasses.field(compare=False)
+    args: tuple[Any, ...] = dataclasses.field(compare=False, default=())
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (kernel-internal)."""
+        self.callback(*self.args)

@@ -1,0 +1,127 @@
+"""Statistics infrastructure shared by every subsystem.
+
+Three small primitives cover everything the paper reports:
+
+* :class:`Counter` — named integer counters (miss classes, message counts).
+* :class:`TrafficMeter` — bytes transferred per category per link crossing,
+  the quantity behind Figures 4b and 5b ("bytes per miss").
+* :class:`LatencyTracker` — sample mean/max plus an exponentially weighted
+  moving average, which TokenB uses for its reissue timeout ("twice the
+  recent average miss latency", Section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Counter:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: defaultdict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"
+
+
+class TrafficMeter:
+    """Accumulates interconnect traffic in bytes, by message category.
+
+    A message that crosses ``h`` links contributes ``h * size_bytes``, which
+    matches the paper's per-link bandwidth accounting.  Categories mirror
+    the figure legends, e.g. ``"request"``, ``"data"``, ``"ack"``,
+    ``"reissue"``, ``"persistent"``, ``"writeback"``, ``"forward"``,
+    ``"invalidation"``, ``"token"``.
+    """
+
+    def __init__(self) -> None:
+        self._bytes: defaultdict[str, int] = defaultdict(int)
+        self._messages: defaultdict[str, int] = defaultdict(int)
+
+    def record_crossing(self, category: str, size_bytes: int) -> None:
+        """Record one link crossing of a message of the given category."""
+        self._bytes[category] += size_bytes
+        self._messages[category] += 1
+
+    def bytes_by_category(self) -> dict[str, int]:
+        return dict(self._bytes)
+
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    def crossings_by_category(self) -> dict[str, int]:
+        return dict(self._messages)
+
+    def merged(self, groups: dict[str, list[str]]) -> dict[str, int]:
+        """Regroup byte counts, e.g. into the four figure-legend buckets.
+
+        Categories not named in ``groups`` are summed under ``"other"``.
+        """
+        result = {name: 0 for name in groups}
+        grouped = {cat for cats in groups.values() for cat in cats}
+        other = 0
+        for category, nbytes in self._bytes.items():
+            if category in grouped:
+                for name, cats in groups.items():
+                    if category in cats:
+                        result[name] += nbytes
+                        break
+            else:
+                other += nbytes
+        if other:
+            result["other"] = other
+        return result
+
+
+class LatencyTracker:
+    """Latency samples with mean, max, and an EWMA.
+
+    The EWMA seed matters for TokenB: before any miss completes, the
+    sequencer needs a plausible average miss latency to size its first
+    timeout, so the tracker starts from ``initial`` (default 200 ns,
+    roughly one memory round-trip in the Table 1 system).
+    """
+
+    def __init__(self, initial: float = 200.0, alpha: float = 0.2) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._ewma = initial
+        self._alpha = alpha
+
+    def record(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        self._ewma += self._alpha * (value - self._ewma)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def ewma(self) -> float:
+        return self._ewma

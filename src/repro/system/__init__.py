@@ -1,0 +1,21 @@
+"""System assembly and configuration."""
+
+from repro.system.builder import System, build_system, simulate
+from repro.config import INTERCONNECTS, PROTOCOLS, SystemConfig
+from repro.system.simulator import (
+    FIGURE_TRAFFIC_GROUPS,
+    DeadlockError,
+    SimulationResult,
+)
+
+__all__ = [
+    "DeadlockError",
+    "FIGURE_TRAFFIC_GROUPS",
+    "INTERCONNECTS",
+    "PROTOCOLS",
+    "SimulationResult",
+    "System",
+    "SystemConfig",
+    "build_system",
+    "simulate",
+]

@@ -1,0 +1,204 @@
+"""System assembly: glue the substrates into a runnable multiprocessor.
+
+:func:`build_system` instantiates the interconnect, one protocol node
+per processor, and one sequencer per node, wired to the shared safety
+checker and statistics.  :func:`simulate` is the one-call public entry
+point: config + workload spec in, :class:`SimulationResult` out.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.controller import ProtocolNode
+from repro.core.null_protocol import NullTokenNode
+from repro.core.tokenb import TokenBNode
+from repro.core.tokens import TokenLedger
+from repro.interconnect import build_interconnect
+from repro.processor.sequencer import MemoryOp, Sequencer
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Counter, TrafficMeter
+from repro.config import SystemConfig
+from repro.system.simulator import DeadlockError, SimulationResult
+from repro.workloads.synthetic import WorkloadSpec, generate_streams
+
+#: Protocols whose checker can run in strict mode (instantaneous
+#: agreement with the authoritative version is guaranteed; Section 3.1).
+_STRICT_SAFE_PROTOCOLS = {"tokenb", "tokend", "tokenm"}
+
+
+def _node_factory(protocol: str):
+    if protocol == "tokenb":
+        return TokenBNode
+    if protocol == "null-token":
+        return NullTokenNode
+    if protocol == "tokend":
+        from repro.core.extensions import TokenDNode
+
+        return TokenDNode
+    if protocol == "tokenm":
+        from repro.core.extensions import TokenMNode
+
+        return TokenMNode
+    if protocol == "snooping":
+        from repro.protocols.snooping import SnoopingNode
+
+        return SnoopingNode
+    if protocol == "directory":
+        from repro.protocols.directory import DirectoryNode
+
+        return DirectoryNode
+    if protocol == "hammer":
+        from repro.protocols.hammer import HammerNode
+
+        return HammerNode
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def _is_token_protocol(protocol: str) -> bool:
+    return protocol in ("tokenb", "null-token", "tokend", "tokenm")
+
+
+class System:
+    """A built multiprocessor, ready to run one workload."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        streams: dict[int, list[MemoryOp]],
+        workload_name: str = "custom",
+        ops_per_transaction: int = 100,
+        strict_checker: bool | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.workload_name = workload_name
+        self.ops_per_transaction = ops_per_transaction
+        self.sim = Simulator()
+        self.traffic = TrafficMeter()
+        self.counters = Counter()
+        if strict_checker is None:
+            strict_checker = config.protocol in _STRICT_SAFE_PROTOCOLS
+        self.checker = CoherenceChecker(
+            strict=strict_checker,
+            allow_inflight_invalidation=config.protocol == "snooping",
+        )
+        self.network = build_interconnect(
+            config.interconnect,
+            self.sim,
+            config.n_procs,
+            config.link_latency_ns,
+            config.link_bandwidth_bytes_per_ns,
+            self.traffic,
+        )
+        self.ledger: TokenLedger | None = None
+        if _is_token_protocol(config.protocol):
+            self.ledger = TokenLedger(config.total_tokens)
+
+        factory = _node_factory(config.protocol)
+        self.nodes: list[ProtocolNode] = []
+        for node_id in range(config.n_procs):
+            if self.ledger is not None:
+                node = factory(
+                    node_id,
+                    self.sim,
+                    self.network,
+                    config,
+                    self.checker,
+                    self.counters,
+                    self.ledger,
+                )
+            else:
+                node = factory(
+                    node_id,
+                    self.sim,
+                    self.network,
+                    config,
+                    self.checker,
+                    self.counters,
+                )
+            self.nodes.append(node)
+
+        self.sequencers: list[Sequencer] = []
+        for node_id, node in enumerate(self.nodes):
+            stream = streams.get(node_id, [])
+            self.sequencers.append(
+                Sequencer(node, config, self.sim, self.checker, iter(stream))
+            )
+
+    def run(
+        self, max_events: int | None = None, audit_tokens: bool = True
+    ) -> SimulationResult:
+        """Run to completion; raises on deadlock or invariant violation."""
+        for sequencer in self.sequencers:
+            sequencer.start()
+        self.sim.run(max_events=max_events)
+        stuck = [s.proc_id for s in self.sequencers if not s.done]
+        if stuck:
+            raise DeadlockError(
+                f"event queue drained at t={self.sim.now} with processors "
+                f"{stuck} still incomplete (liveness violation)"
+            )
+        if audit_tokens and self.ledger is not None:
+            self.ledger.audit_all_touched()
+        return self._result()
+
+    def _result(self) -> SimulationResult:
+        total_ops = sum(s.completed_ops for s in self.sequencers)
+        miss_count = self.counters.get("l2_miss")
+        latencies = [s.miss_latency for s in self.sequencers if s.miss_latency.count]
+        total_lat = sum(t.mean * t.count for t in latencies)
+        total_misses_seen = sum(t.count for t in latencies)
+        return SimulationResult(
+            config=self.config,
+            workload_name=self.workload_name,
+            runtime_ns=max(
+                (s.finish_time or 0.0) for s in self.sequencers
+            ),
+            total_ops=total_ops,
+            total_misses=miss_count,
+            counters=self.counters.as_dict(),
+            traffic_bytes=self.traffic.bytes_by_category(),
+            events_fired=self.sim.events_fired,
+            per_proc_finish_ns=[s.finish_time or 0.0 for s in self.sequencers],
+            l1_hits=sum(s.l1_hits for s in self.sequencers),
+            l2_hits=sum(s.l2_hits for s in self.sequencers),
+            mean_miss_latency_ns=(
+                total_lat / total_misses_seen if total_misses_seen else 0.0
+            ),
+            ops_per_transaction=self.ops_per_transaction,
+        )
+
+
+def build_system(
+    config: SystemConfig,
+    streams: dict[int, list[MemoryOp]],
+    workload_name: str = "custom",
+    ops_per_transaction: int = 100,
+    strict_checker: bool | None = None,
+) -> System:
+    """Assemble a system around explicit per-processor op streams."""
+    return System(
+        config, streams, workload_name, ops_per_transaction, strict_checker
+    )
+
+
+def simulate(
+    config: SystemConfig,
+    workload: WorkloadSpec,
+    max_events: int | None = None,
+) -> SimulationResult:
+    """Generate the workload's streams, run it, and return the result.
+
+    The streams depend only on (workload, n_procs, config.seed), so every
+    protocol/interconnect variant replays the identical input.
+    """
+    streams = generate_streams(
+        workload, config.n_procs, config.seed, config.block_bytes
+    )
+    system = build_system(
+        config,
+        streams,
+        workload_name=workload.name,
+        ops_per_transaction=workload.ops_per_transaction,
+    )
+    return system.run(max_events=max_events)

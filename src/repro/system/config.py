@@ -1,0 +1,5 @@
+"""Compatibility shim: the configuration lives in :mod:`repro.config`."""
+
+from repro.config import INTERCONNECTS, PROTOCOLS, SystemConfig
+
+__all__ = ["INTERCONNECTS", "PROTOCOLS", "SystemConfig"]

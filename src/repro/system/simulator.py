@@ -1,0 +1,139 @@
+"""Top-level run loop and simulation results.
+
+:class:`SimulationResult` exposes exactly the quantities the paper
+reports: normalized runtime (cycles per transaction), traffic in bytes
+per miss with per-category breakdowns (Figures 4b/5b), and the Table 2
+miss-reissue classification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import SystemConfig
+
+#: Traffic-category groupings matching the figure legends.
+FIGURE_TRAFFIC_GROUPS: dict[str, list[str]] = {
+    "reissues_and_persistent": ["reissue", "persistent"],
+    "requests": ["request", "forward", "invalidation", "probe"],
+    "other_non_data": ["token", "ack", "unblock", "control"],
+    "data_and_writebacks": ["data", "writeback"],
+}
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained while operations were still outstanding."""
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Everything measured in one simulation run."""
+
+    config: SystemConfig
+    workload_name: str
+    runtime_ns: float
+    total_ops: int
+    total_misses: int
+    counters: dict[str, int]
+    traffic_bytes: dict[str, int]
+    events_fired: int
+    per_proc_finish_ns: list[float]
+    l1_hits: int
+    l2_hits: int
+    mean_miss_latency_ns: float
+    ops_per_transaction: int = 100
+
+    # ------------------------------------------------------------------
+    # Runtime metrics (Figures 4a / 5a)
+    # ------------------------------------------------------------------
+
+    @property
+    def transactions(self) -> float:
+        return self.total_ops / self.ops_per_transaction
+
+    @property
+    def cycles_per_transaction(self) -> float:
+        """Runtime normalized to workload units (1 ns = 1 cycle)."""
+        return self.runtime_ns / self.transactions if self.transactions else 0.0
+
+    # ------------------------------------------------------------------
+    # Traffic metrics (Figures 4b / 5b)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(self.traffic_bytes.values())
+
+    @property
+    def bytes_per_miss(self) -> float:
+        if self.total_misses == 0:
+            return 0.0
+        return self.total_traffic_bytes / self.total_misses
+
+    def traffic_breakdown_per_miss(self) -> dict[str, float]:
+        """Bytes per miss in the figure-legend buckets."""
+        if self.total_misses == 0:
+            return {name: 0.0 for name in FIGURE_TRAFFIC_GROUPS}
+        grouped = {name: 0 for name in FIGURE_TRAFFIC_GROUPS}
+        assigned: set[str] = set()
+        for name, categories in FIGURE_TRAFFIC_GROUPS.items():
+            for category in categories:
+                grouped[name] += self.traffic_bytes.get(category, 0)
+                assigned.add(category)
+        leftovers = sum(
+            nbytes
+            for category, nbytes in self.traffic_bytes.items()
+            if category not in assigned
+        )
+        grouped["other_non_data"] += leftovers
+        return {
+            name: nbytes / self.total_misses for name, nbytes in grouped.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Miss classification (Table 2)
+    # ------------------------------------------------------------------
+
+    def miss_classification(self) -> dict[str, float]:
+        """Fractions of misses per Table 2 bucket (sums to 1)."""
+        classes = {
+            "not_reissued": self.counters.get("miss_not_reissued", 0),
+            "reissued_once": self.counters.get("miss_reissued_once", 0),
+            "reissued_more": self.counters.get("miss_reissued_multi", 0),
+            "persistent": self.counters.get("miss_persistent", 0),
+        }
+        total = sum(classes.values())
+        if total == 0:
+            return {name: 0.0 for name in classes}
+        return {name: count / total for name, count in classes.items()}
+
+    def cache_to_cache_fraction(self) -> float:
+        """Fraction of data-bearing miss fills sourced by a remote cache."""
+        from_cache = self.counters.get("data_from_cache", 0)
+        from_memory = self.counters.get("data_from_memory", 0)
+        total = from_cache + from_memory
+        return from_cache / total if total else 0.0
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"{self.config.protocol} on {self.config.interconnect} "
+            f"({self.workload_name}):",
+            f"  runtime {self.runtime_ns:,.0f} ns "
+            f"({self.cycles_per_transaction:,.1f} cycles/transaction)",
+            f"  {self.total_ops:,} ops, {self.total_misses:,} L2 misses, "
+            f"{self.bytes_per_miss:,.1f} bytes/miss",
+            f"  mean miss latency {self.mean_miss_latency_ns:,.1f} ns",
+        ]
+        classification = self.miss_classification()
+        if any(classification.values()):
+            lines.append(
+                "  misses: "
+                + ", ".join(
+                    f"{name} {fraction:.2%}"
+                    for name, fraction in classification.items()
+                )
+            )
+        return "\n".join(lines)

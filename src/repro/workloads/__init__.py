@@ -1,0 +1,42 @@
+"""Workload generation: synthetic commercial models, microbenchmarks,
+and trace record/replay."""
+
+from repro.workloads.commercial import (
+    APACHE,
+    COMMERCIAL_WORKLOADS,
+    OLTP,
+    SPECJBB,
+)
+from repro.workloads.microbench import (
+    contended_sharing_spec,
+    memory_pressure_spec,
+)
+from repro.workloads.synthetic import (
+    WorkloadSpec,
+    generate_stream,
+    generate_streams,
+    stream_stats,
+)
+from repro.workloads.trace import (
+    dump_streams,
+    dumps_streams,
+    load_streams,
+    loads_streams,
+)
+
+__all__ = [
+    "APACHE",
+    "COMMERCIAL_WORKLOADS",
+    "OLTP",
+    "SPECJBB",
+    "WorkloadSpec",
+    "contended_sharing_spec",
+    "dump_streams",
+    "dumps_streams",
+    "generate_stream",
+    "generate_streams",
+    "load_streams",
+    "loads_streams",
+    "memory_pressure_spec",
+    "stream_stats",
+]

@@ -1,0 +1,73 @@
+"""Tests for the paper-style report formatters."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_runtime_bars,
+    format_table2,
+    format_traffic_bars,
+    speedup,
+    traffic_ratio,
+)
+from repro.config import SystemConfig
+from repro.system.simulator import SimulationResult
+
+
+def make_result(cpt=1000.0, bpm_bytes=None, counters=None):
+    total_misses = 100
+    traffic = bpm_bytes if bpm_bytes is not None else {"data": 7200}
+    return SimulationResult(
+        config=SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus"),
+        workload_name="wl",
+        runtime_ns=cpt * 5,
+        total_ops=500,
+        total_misses=total_misses,
+        counters=counters or {"miss_not_reissued": 100},
+        traffic_bytes=traffic,
+        events_fired=1,
+        per_proc_finish_ns=[cpt * 5] * 4,
+        l1_hits=0,
+        l2_hits=0,
+        mean_miss_latency_ns=100.0,
+        ops_per_transaction=100,
+    )
+
+
+def test_table2_formats_rows_and_average():
+    text = format_table2({"apache": make_result(), "oltp": make_result()})
+    assert "apache" in text
+    assert "oltp" in text
+    assert "Average" in text
+    assert "100.00%" in text
+
+
+def test_runtime_bars_normalize_to_baseline():
+    data = {
+        "wl": {
+            "base": make_result(cpt=1000.0),
+            "faster": make_result(cpt=500.0),
+        }
+    }
+    text = format_runtime_bars(data, baseline="base")
+    assert " 1.00" in text
+    assert " 0.50" in text
+
+
+def test_traffic_bars_show_buckets():
+    data = {"wl": {"base": make_result()}}
+    text = format_traffic_bars(data, baseline="base")
+    assert "data_and_writebacks" in text
+    assert "B/miss" in text
+
+
+def test_speedup_convention():
+    slower = make_result(cpt=1200.0)
+    faster = make_result(cpt=1000.0)
+    assert speedup(slower, faster) == pytest.approx(20.0)
+    assert speedup(faster, slower) == pytest.approx(-1000.0 / 1200.0 * 20.0, abs=1)
+
+
+def test_traffic_ratio():
+    a = make_result(bpm_bytes={"data": 7200})
+    b = make_result(bpm_bytes={"data": 3600})
+    assert traffic_ratio(a, b) == pytest.approx(2.0)

@@ -1,0 +1,64 @@
+"""Tests for the MSHR table."""
+
+import pytest
+
+from repro.cache import MshrTable
+
+
+def test_allocate_get_free_cycle():
+    table = MshrTable(4)
+    entry = table.allocate(0x40, for_write=True, now=10.0)
+    assert entry.block == 0x40
+    assert entry.for_write
+    assert entry.issued_at == 10.0
+    assert table.get(0x40) is entry
+    assert 0x40 in table
+    freed = table.free(0x40)
+    assert freed is entry
+    assert table.get(0x40) is None
+
+
+def test_double_allocate_same_block_rejected():
+    table = MshrTable(4)
+    table.allocate(1, False, 0.0)
+    with pytest.raises(RuntimeError):
+        table.allocate(1, True, 0.0)
+
+
+def test_capacity_enforced():
+    table = MshrTable(2)
+    table.allocate(1, False, 0.0)
+    table.allocate(2, False, 0.0)
+    assert table.is_full()
+    with pytest.raises(RuntimeError):
+        table.allocate(3, False, 0.0)
+
+
+def test_free_unknown_block_rejected():
+    table = MshrTable(2)
+    with pytest.raises(RuntimeError):
+        table.free(9)
+
+
+def test_waiters_coalesce():
+    table = MshrTable(2)
+    entry = table.allocate(1, False, 0.0)
+    entry.waiters.append((False, lambda v: None))
+    entry.waiters.append((True, lambda v: None))
+    assert len(entry.waiters) == 2
+
+
+def test_protocol_bag_is_per_entry():
+    table = MshrTable(2)
+    a = table.allocate(1, False, 0.0)
+    b = table.allocate(2, False, 0.0)
+    a.protocol["reissues"] = 3
+    assert "reissues" not in b.protocol
+
+
+def test_len_and_entries():
+    table = MshrTable(3)
+    table.allocate(1, False, 0.0)
+    table.allocate(2, True, 1.0)
+    assert len(table) == 2
+    assert {e.block for e in table.entries()} == {1, 2}

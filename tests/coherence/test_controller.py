@@ -1,0 +1,88 @@
+"""Tests for the protocol-node base class plumbing."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.coherence.controller import ProtocolError
+from repro.processor.sequencer import MemoryOp
+from repro.system.builder import build_system
+
+
+def make_system(**overrides):
+    defaults = dict(
+        protocol="tokenb",
+        interconnect="torus",
+        n_procs=4,
+        l2_bytes=8 * 64,
+        l2_assoc=2,
+    )
+    defaults.update(overrides)
+    return build_system(SystemConfig(**defaults), {})
+
+
+def test_probe_miss_returns_none():
+    system = make_system()
+    assert system.nodes[0].probe(5, for_write=False) is None
+    assert system.nodes[0].probe(5, for_write=True) is None
+
+
+def test_perform_store_without_permission_raises():
+    system = make_system()
+    with pytest.raises(ProtocolError):
+        system.nodes[0].perform_store(5)
+
+
+def test_home_mapping_interleaves():
+    system = make_system()
+    node = system.nodes[0]
+    assert node.home_of(0) == 0
+    assert node.home_of(1) == 1
+    assert node.home_of(5) == 1
+    assert node.is_home(4)
+    assert not node.is_home(5)
+
+
+def test_start_miss_coalesces_same_block():
+    system = make_system()
+    node = system.nodes[0]
+    seen = []
+    node.start_miss(5, False, seen.append)
+    node.start_miss(5, False, seen.append)
+    assert len(node.mshrs) == 1
+    entry = node.mshrs.get(5)
+    assert len(entry.waiters) == 2
+    system.sim.run(max_events=100_000)
+    assert len(seen) == 2
+
+
+def test_miss_counters_track_kind():
+    system = make_system()
+    node = system.nodes[1]
+    node.start_miss(5, False, lambda v: None)
+    node.start_miss(6, True, lambda v: None)
+    assert system.counters.get("l2_miss") == 2
+    assert system.counters.get("miss_load") == 1
+    assert system.counters.get("miss_store") == 1
+    system.sim.run(max_events=100_000)
+
+
+def test_lose_block_hook_fires_on_invalidation():
+    config = SystemConfig(protocol="tokenb", interconnect="torus", n_procs=4)
+    streams = {
+        0: [MemoryOp(0x1000, False)],
+        1: [MemoryOp(0x1000, True, think_ns=600.0)],
+    }
+    system = build_system(config, streams)
+    lost = []
+    system.nodes[0].set_lose_block_hook(lost.append)
+    system.run()
+    assert 0x1000 // 64 in lost
+
+
+def test_local_send_skips_network():
+    system = make_system()
+    node = system.nodes[2]
+    before = system.traffic.total_bytes()
+    msg = node.make_control(dst=2, mtype="GETS", block=5, requester=2)
+    node.send_msg(msg)
+    assert system.traffic.total_bytes() == before

@@ -1,0 +1,41 @@
+"""Tests for coherence message construction (Section 5.1 sizes)."""
+
+import pytest
+
+from repro.coherence.messages import (
+    CoherenceMessage,
+    control_message,
+    data_message,
+)
+
+
+def test_control_message_is_8_bytes():
+    msg = control_message(src=0, dst=1, mtype="GETS", block=5)
+    assert msg.size_bytes == 8
+    assert not msg.carries_data()
+
+
+def test_data_message_is_72_bytes():
+    msg = data_message(src=0, dst=1, mtype="DATA", block=5, data_version=3)
+    assert msg.size_bytes == 72
+    assert msg.carries_data()
+
+
+def test_data_message_requires_version():
+    with pytest.raises(ValueError):
+        data_message(src=0, dst=1, mtype="DATA", block=5)
+
+
+def test_message_ids_unique():
+    a = control_message(src=0, dst=1)
+    b = control_message(src=0, dst=1)
+    assert a.msg_id != b.msg_id
+
+
+def test_defaults():
+    msg = CoherenceMessage(src=2, dst=3)
+    assert msg.tokens == 0
+    assert not msg.owner_token
+    assert msg.acks_expected == 0
+    assert msg.tx == 0
+    assert msg.requester == -1

@@ -1,0 +1,45 @@
+"""Tests for the requester-side migratory predictor."""
+
+from repro.coherence.migratory import MigratoryPredictor
+
+
+def test_initially_predicts_nothing():
+    predictor = MigratoryPredictor()
+    assert not predictor.predicts_migratory(5)
+
+
+def test_upgrade_teaches_block():
+    predictor = MigratoryPredictor()
+    predictor.observe_upgrade(5)
+    assert predictor.predicts_migratory(5)
+    assert not predictor.predicts_migratory(6)
+    assert predictor.learned == 1
+
+
+def test_read_shared_unlearns():
+    predictor = MigratoryPredictor()
+    predictor.observe_upgrade(5)
+    predictor.observe_read_shared(5)
+    assert not predictor.predicts_migratory(5)
+    assert predictor.unlearned == 1
+
+
+def test_unlearn_unknown_block_is_noop():
+    predictor = MigratoryPredictor()
+    predictor.observe_read_shared(5)
+    assert predictor.unlearned == 0
+
+
+def test_disabled_predictor_never_predicts():
+    predictor = MigratoryPredictor(enabled=False)
+    predictor.observe_upgrade(5)
+    assert not predictor.predicts_migratory(5)
+    assert len(predictor) == 0
+
+
+def test_hit_counter():
+    predictor = MigratoryPredictor()
+    predictor.observe_upgrade(5)
+    predictor.predicts_migratory(5)
+    predictor.predicts_migratory(5)
+    assert predictor.hits == 2

@@ -1,0 +1,47 @@
+"""Tests for MOESI states and the token-count mapping (Section 3.1)."""
+
+import pytest
+
+from repro.coherence.states import Moesi, state_from_tokens
+
+
+def test_all_tokens_is_modified():
+    assert state_from_tokens(16, True, 16) is Moesi.MODIFIED
+
+
+def test_owner_with_some_tokens_is_owned():
+    assert state_from_tokens(5, True, 16) is Moesi.OWNED
+
+
+def test_tokens_without_owner_is_shared():
+    assert state_from_tokens(1, False, 16) is Moesi.SHARED
+    assert state_from_tokens(15, False, 16) is Moesi.SHARED
+
+
+def test_no_tokens_is_invalid():
+    assert state_from_tokens(0, False, 16) is Moesi.INVALID
+
+
+def test_impossible_counts_rejected():
+    with pytest.raises(ValueError):
+        state_from_tokens(17, False, 16)
+    with pytest.raises(ValueError):
+        state_from_tokens(-1, False, 16)
+    with pytest.raises(ValueError):
+        state_from_tokens(0, True, 16)
+
+
+def test_permission_predicates():
+    assert Moesi.MODIFIED.can_write()
+    assert Moesi.EXCLUSIVE.can_write()
+    assert not Moesi.OWNED.can_write()
+    assert not Moesi.SHARED.can_write()
+    assert not Moesi.INVALID.can_read()
+    assert Moesi.SHARED.can_read()
+
+
+def test_owner_states_supply_data():
+    assert Moesi.MODIFIED.is_owner()
+    assert Moesi.OWNED.is_owner()
+    assert not Moesi.SHARED.is_owner()
+    assert not Moesi.INVALID.is_owner()

@@ -1,0 +1,31 @@
+"""Shared fixtures for Token Coherence core tests."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.processor.sequencer import MemoryOp
+from repro.system.builder import build_system
+
+
+@pytest.fixture
+def small_config():
+    """A 4-node TokenB torus with tiny caches (forces evictions)."""
+    return SystemConfig(
+        protocol="tokenb",
+        interconnect="torus",
+        n_procs=4,
+        l2_bytes=64 * 64,  # 64 lines
+        l2_assoc=4,
+        l1_bytes=16 * 64,
+    )
+
+
+def run_ops(config, streams, **kwargs):
+    """Build, run, and return (system, result)."""
+    system = build_system(config, streams, **kwargs)
+    result = system.run(max_events=5_000_000)
+    return system, result
+
+
+def op(addr, write=False, think=0.0, dep=False):
+    return MemoryOp(addr, write, think, dep)

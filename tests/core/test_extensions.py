@@ -1,0 +1,107 @@
+"""Tests for the Section 7 extension performance protocols."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.system.builder import build_system
+
+from tests.core.conftest import op
+
+
+def run_protocol(protocol, streams, **overrides):
+    defaults = dict(
+        protocol=protocol, interconnect="torus", n_procs=4, l2_bytes=64 * 64
+    )
+    defaults.update(overrides)
+    config = SystemConfig(**defaults)
+    system = build_system(config, streams)
+    result = system.run(max_events=10_000_000)
+    if system.ledger is not None:
+        system.ledger.audit_all_touched()
+    return system, result
+
+
+@pytest.mark.parametrize("protocol", ["tokend", "tokenm"])
+def test_extension_protocols_complete_basic_sharing(protocol):
+    streams = {
+        0: [op(0x2000, write=True)],
+        1: [op(0x2000, think=900.0)],
+        2: [op(0x2000, write=True, think=1800.0)],
+    }
+    _, result = run_protocol(protocol, streams)
+    assert result.total_ops == 3
+
+
+@pytest.mark.parametrize("protocol", ["tokend", "tokenm"])
+def test_extension_protocols_survive_contention(protocol):
+    streams = {
+        p: [op(0x2000), op(0x2000, write=True, dep=True)] * 4 for p in range(4)
+    }
+    system, result = run_protocol(protocol, streams)
+    assert result.total_ops == 32
+    assert system.checker.current_version(0x2000 // 64) == 16
+
+
+def test_tokend_requests_are_not_broadcast():
+    streams = {1: [op(0x1000)]}
+    system, _ = run_protocol("tokend", streams)
+    crossings = system.traffic.crossings_by_category()
+    # Unicast to the home: at most a few link hops, not N-1 crossings.
+    assert crossings["request"] < system.config.n_procs - 1
+
+
+def test_tokend_uses_less_request_traffic_than_tokenb():
+    streams = {
+        p: [op(0x3000 + 64 * (i % 6), write=i % 3 == 0, think=25.0)
+            for i in range(30)]
+        for p in range(4)
+    }
+    results = {}
+    for protocol in ("tokenb", "tokend"):
+        system, result = run_protocol(protocol, streams)
+        results[protocol] = system.traffic.bytes_by_category().get("request", 0)
+    assert results["tokend"] < results["tokenb"]
+
+
+def test_tokend_soft_directory_learns_owner():
+    streams = {
+        1: [op(0x1000, write=True)],
+        2: [op(0x1000, write=True, think=900.0)],
+    }
+    system, _ = run_protocol("tokend", streams)
+    home = system.nodes[(0x1000 // 64) % 4]
+    soft = home._soft_entry(0x1000 // 64)
+    assert soft.owner == 2  # last exclusive requester
+
+
+def test_tokenm_predictor_learns_token_senders():
+    streams = {
+        0: [op(0x2000, write=True)],
+        1: [op(0x2000, think=900.0), op(0x2000, write=True, dep=True)],
+    }
+    system, _ = run_protocol("tokenm", streams)
+    node = system.nodes[1]
+    assert 0 in node._holder_predictor.get(0x2000 // 64, [])
+
+
+def test_tokenm_falls_back_to_broadcast_when_cold():
+    streams = {1: [op(0x1000)]}
+    system, result = run_protocol("tokenm", streams)
+    assert result.counters.get("destset_fallback_broadcast", 0) >= 1
+    assert result.total_ops == 1
+
+
+def test_extensions_match_tokenb_final_state():
+    streams = {
+        p: [op(0x2000 + 64 * (i % 3), write=(p + i) % 2 == 0, think=20.0)
+            for i in range(12)]
+        for p in range(4)
+    }
+    finals = {}
+    for protocol in ("tokenb", "tokend", "tokenm"):
+        system, _ = run_protocol(protocol, streams)
+        finals[protocol] = tuple(
+            system.checker.current_version(0x2000 // 64 + i) for i in range(3)
+        )
+    assert finals["tokend"] == finals["tokenb"]
+    assert finals["tokenm"] == finals["tokenb"]

@@ -1,0 +1,84 @@
+"""Unit tests for the token conservation ledger (Invariant #1')."""
+
+import pytest
+
+from repro.core.tokens import TokenInvariantError, TokenLedger
+
+
+class FakeHolder:
+    def __init__(self, holdings):
+        self.holdings = holdings  # block -> (tokens, owners)
+
+    def tokens_held(self, block):
+        return self.holdings.get(block, (0, 0))
+
+
+def test_audit_passes_when_tokens_conserved():
+    ledger = TokenLedger(16)
+    ledger.register_holder(FakeHolder({5: (10, 1)}))
+    ledger.register_holder(FakeHolder({5: (6, 0)}))
+    ledger.touched_blocks.add(5)
+    ledger.audit(5)
+
+
+def test_audit_detects_lost_tokens():
+    ledger = TokenLedger(16)
+    ledger.register_holder(FakeHolder({5: (15, 1)}))
+    with pytest.raises(TokenInvariantError, match="15 tokens"):
+        ledger.audit(5)
+
+
+def test_audit_detects_duplicate_owner():
+    ledger = TokenLedger(4)
+    ledger.register_holder(FakeHolder({5: (2, 1)}))
+    ledger.register_holder(FakeHolder({5: (2, 1)}))
+    with pytest.raises(TokenInvariantError, match="owner"):
+        ledger.audit(5)
+
+
+def test_in_flight_tokens_count_toward_total():
+    ledger = TokenLedger(8)
+    ledger.register_holder(FakeHolder({3: (5, 0)}))
+    ledger.message_sent(3, 3, owner=True)
+    ledger.audit(3)
+    ledger.message_received(3, 3, owner=True)
+    assert ledger.in_flight(3) == (0, 0)
+
+
+def test_receiving_unsent_tokens_rejected():
+    ledger = TokenLedger(8)
+    with pytest.raises(TokenInvariantError):
+        ledger.message_received(3, 1, owner=False)
+
+
+def test_receiving_unsent_owner_rejected():
+    ledger = TokenLedger(8)
+    ledger.message_sent(3, 2, owner=False)
+    with pytest.raises(TokenInvariantError, match="owner"):
+        ledger.message_received(3, 2, owner=True)
+
+
+def test_zero_token_message_rejected():
+    ledger = TokenLedger(8)
+    with pytest.raises(TokenInvariantError):
+        ledger.message_sent(3, 0, owner=False)
+
+
+def test_oversized_message_rejected():
+    ledger = TokenLedger(8)
+    with pytest.raises(TokenInvariantError):
+        ledger.message_sent(3, 9, owner=False)
+
+
+def test_audit_all_touched_covers_sent_blocks():
+    ledger = TokenLedger(4)
+    holder = FakeHolder({1: (4, 1), 2: (4, 1)})
+    ledger.register_holder(holder)
+    ledger.message_sent(1, 2, owner=False)
+    ledger.message_received(1, 2, owner=False)
+    assert ledger.audit_all_touched() == 1
+
+
+def test_total_tokens_must_be_positive():
+    with pytest.raises(ValueError):
+        TokenLedger(0)

@@ -1,0 +1,137 @@
+"""Randomized cross-protocol stress tests.
+
+Each protocol runs randomized contended workloads on small systems with
+tiny caches (maximizing evictions, races, and writeback windows) while
+every oracle is armed: the data-value checker, token conservation audit
+(token protocols), liveness (all ops complete), and writeback-buffer
+drainage.  A protocol bug that survives these runs would need to be
+timing-window-specific indeed.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.processor.sequencer import MemoryOp
+from repro.sim.rng import derive_rng
+from repro.system.builder import build_system
+
+ALL_PROTOCOLS = ["tokenb", "snooping", "directory", "hammer", "null-token"]
+
+
+def interconnect_for(protocol):
+    return "tree" if protocol == "snooping" else "torus"
+
+
+def random_streams(seed, n_procs, ops_per_proc, n_blocks, write_prob, rng_tag):
+    """Contended random op streams over a small block pool."""
+    streams = {}
+    for proc in range(n_procs):
+        rng = derive_rng(seed, "stress", rng_tag, proc)
+        ops = []
+        for _ in range(ops_per_proc):
+            block = 0x100 + rng.randrange(n_blocks)
+            write = rng.random() < write_prob
+            think = rng.uniform(0.0, 30.0)
+            dep = rng.random() < 0.2
+            ops.append(MemoryOp(block * 64, write, think, dep))
+        streams[proc] = ops
+    return streams
+
+
+def run_stress(protocol, seed, n_procs=4, ops_per_proc=60, n_blocks=12,
+               write_prob=0.4, **config_overrides):
+    config = SystemConfig(
+        protocol=protocol,
+        interconnect=interconnect_for(protocol),
+        n_procs=n_procs,
+        l2_bytes=16 * 64,  # 16 lines: constant eviction pressure
+        l2_assoc=4,
+        l1_bytes=8 * 64,
+        seed=seed,
+        **config_overrides,
+    )
+    streams = random_streams(
+        seed, n_procs, ops_per_proc, n_blocks, write_prob, protocol
+    )
+    system = build_system(config, streams)
+    result = system.run(max_events=20_000_000)
+    # Liveness: every op completed.
+    assert result.total_ops == n_procs * ops_per_proc
+    # Token conservation (token protocols).
+    if system.ledger is not None:
+        assert system.ledger.audit_all_touched() > 0
+    # All writeback windows closed.
+    for node in system.nodes:
+        assert not node.writeback_buffer
+        assert len(node.mshrs) == 0
+    return system, result
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_contention(protocol, seed):
+    run_stress(protocol, seed)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_write_heavy_contention(protocol):
+    run_stress(protocol, seed=11, write_prob=0.8, n_blocks=6)
+
+
+@pytest.mark.parametrize("protocol", ["tokenb", "directory", "hammer"])
+def test_single_hot_block(protocol):
+    """Worst case: every op touches one block."""
+    run_stress(protocol, seed=21, n_blocks=1, ops_per_proc=40)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_larger_system_eight_nodes(protocol):
+    run_stress(protocol, seed=31, n_procs=8, ops_per_proc=40)
+
+
+@pytest.mark.parametrize("protocol", ["tokenb", "snooping", "directory", "hammer"])
+def test_no_migratory_optimization(protocol):
+    run_stress(protocol, seed=41, migratory_optimization=False)
+
+
+def test_tokenb_with_aggressive_timeouts():
+    """Tiny reissue timeouts force many reissues and persistent
+    requests; safety and liveness must survive the churn."""
+    system, result = run_stress(
+        "tokenb",
+        seed=51,
+        backoff_initial_ns=5.0,
+        backoff_max_ns=20.0,
+        reissue_timeout_multiplier=0.05,
+        persistent_timeout_multiplier=0.3,
+        reissue_limit=1,
+    )
+    assert result.counters.get("persistent_request", 0) > 0
+
+
+def test_tokenb_extra_tokens_per_block():
+    run_stress("tokenb", seed=61, tokens_per_block=64)
+
+
+def test_final_versions_agree_across_protocols():
+    """Same streams through all four real protocols: the final
+    authoritative version of every block must be identical (the store
+    count is stream-determined), even though timings differ wildly."""
+    finals = {}
+    for protocol in ("tokenb", "snooping", "directory", "hammer"):
+        config = SystemConfig(
+            protocol=protocol,
+            interconnect=interconnect_for(protocol),
+            n_procs=4,
+            l2_bytes=16 * 64,
+            seed=7,
+        )
+        streams = random_streams(7, 4, 50, 10, 0.5, "xproto")
+        system = build_system(config, streams)
+        system.run(max_events=20_000_000)
+        finals[protocol] = tuple(
+            system.checker.current_version(0x100 + i) for i in range(10)
+        )
+    reference = finals["tokenb"]
+    for protocol, versions in finals.items():
+        assert versions == reference, f"{protocol} diverged"

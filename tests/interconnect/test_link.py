@@ -1,0 +1,92 @@
+"""Tests for the bandwidth/latency link model."""
+
+import pytest
+
+from repro.interconnect.link import Link
+from repro.sim import Simulator, TrafficMeter
+
+
+def make_link(sim, latency=15.0, bandwidth=3.2, traffic=None):
+    return Link(sim, "test", latency, bandwidth, traffic)
+
+
+def test_latency_only_delivery_time():
+    sim = Simulator()
+    link = make_link(sim, latency=15.0, bandwidth=None)
+    arrivals = []
+    link.send(8, "request", lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [15.0]
+
+
+def test_serialization_adds_size_over_bandwidth():
+    sim = Simulator()
+    link = make_link(sim, latency=15.0, bandwidth=3.2)
+    arrivals = []
+    link.send(72, "data", lambda: arrivals.append(sim.now))
+    sim.run()
+    # 72 / 3.2 = 22.5 ns serialization + 15 ns latency
+    assert arrivals == [pytest.approx(37.5)]
+
+
+def test_back_to_back_messages_queue_for_bandwidth():
+    sim = Simulator()
+    link = make_link(sim, latency=15.0, bandwidth=3.2)
+    arrivals = []
+    link.send(72, "data", lambda: arrivals.append(("a", sim.now)))
+    link.send(72, "data", lambda: arrivals.append(("b", sim.now)))
+    sim.run()
+    assert arrivals[0] == ("a", pytest.approx(22.5 + 15.0))
+    assert arrivals[1] == ("b", pytest.approx(45.0 + 15.0))
+
+
+def test_unlimited_bandwidth_messages_do_not_queue():
+    sim = Simulator()
+    link = make_link(sim, latency=15.0, bandwidth=None)
+    arrivals = []
+    link.send(72, "data", lambda: arrivals.append(sim.now))
+    link.send(72, "data", lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [15.0, 15.0]
+
+
+def test_link_is_fifo():
+    sim = Simulator()
+    link = make_link(sim)
+    order = []
+    for label in range(5):
+        link.send(8, "request", order.append, label)
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_link_frees_up_after_idle():
+    sim = Simulator()
+    link = make_link(sim, latency=10.0, bandwidth=8.0)
+    arrivals = []
+    link.send(8, "request", lambda: arrivals.append(sim.now))
+    sim.run()
+    # Send again well after the link went idle: no queueing delay.
+    sim.schedule(0.0, lambda: link.send(8, "request", lambda: arrivals.append(sim.now)))
+    sim.run()
+    assert arrivals[0] == pytest.approx(11.0)
+    assert arrivals[1] == pytest.approx(arrivals[0] + 11.0)
+
+
+def test_traffic_meter_integration():
+    sim = Simulator()
+    meter = TrafficMeter()
+    link = make_link(sim, traffic=meter)
+    link.send(8, "request", lambda: None)
+    link.send(72, "data", lambda: None)
+    sim.run()
+    assert meter.bytes_by_category() == {"request": 8, "data": 72}
+    assert link.crossings == 2
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, "bad", -1.0, 3.2)
+    with pytest.raises(ValueError):
+        Link(sim, "bad", 1.0, 0.0)

@@ -1,0 +1,36 @@
+"""Tests for address decomposition and home mapping."""
+
+import pytest
+
+from repro.memory import AddressMap
+
+
+def test_block_of_uses_block_size():
+    amap = AddressMap(n_nodes=16, block_bytes=64)
+    assert amap.block_of(0) == 0
+    assert amap.block_of(63) == 0
+    assert amap.block_of(64) == 1
+    assert amap.block_of(64 * 100 + 5) == 100
+
+
+def test_address_round_trip():
+    amap = AddressMap(n_nodes=4, block_bytes=64)
+    for block in (0, 1, 17, 12345):
+        assert amap.block_of(amap.address_of(block)) == block
+
+
+def test_home_interleaving():
+    amap = AddressMap(n_nodes=16, block_bytes=64)
+    homes = [amap.home_of(b) for b in range(32)]
+    assert homes[:16] == list(range(16))
+    assert homes[16:] == list(range(16))
+
+
+def test_block_bytes_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        AddressMap(n_nodes=4, block_bytes=60)
+
+
+def test_offset_bits():
+    assert AddressMap(4, 64).offset_bits == 6
+    assert AddressMap(4, 128).offset_bits == 7

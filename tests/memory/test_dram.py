@@ -1,0 +1,38 @@
+"""Tests for the DRAM model."""
+
+import pytest
+
+from repro.memory import Dram
+from repro.sim import Simulator
+
+
+def test_access_latency():
+    sim = Simulator()
+    dram = Dram(sim, 80.0)
+    done = []
+    dram.access(lambda: done.append(sim.now))
+    sim.run()
+    assert done == [80.0]
+    assert dram.accesses == 1
+
+
+def test_version_store_defaults_to_zero():
+    dram = Dram(Simulator(), 80.0)
+    assert dram.version_of(123) == 0
+    dram.store_version(123, 7)
+    assert dram.version_of(123) == 7
+    assert dram.version_of(124) == 0
+
+
+def test_access_passes_args():
+    sim = Simulator()
+    dram = Dram(sim, 10.0)
+    seen = []
+    dram.access(seen.append, "payload")
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        Dram(Simulator(), -1.0)

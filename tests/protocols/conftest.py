@@ -1,0 +1,34 @@
+"""Shared helpers for baseline protocol tests."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.processor.sequencer import MemoryOp
+from repro.system.builder import build_system
+
+
+def make_config(protocol, **overrides):
+    defaults = dict(
+        protocol=protocol,
+        interconnect="tree" if protocol == "snooping" else "torus",
+        n_procs=4,
+        l2_bytes=64 * 64,
+        l1_bytes=16 * 64,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def run_ops(config, streams, **kwargs):
+    system = build_system(config, streams, **kwargs)
+    result = system.run(max_events=5_000_000)
+    return system, result
+
+
+def op(addr, write=False, think=0.0, dep=False):
+    return MemoryOp(addr, write, think, dep)
+
+
+@pytest.fixture(params=["snooping", "directory", "hammer"])
+def baseline_protocol(request):
+    return request.param

@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30.0, fired.append, "c")
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(20.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(5.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_starts_at_zero_and_advances():
+    sim = Simulator()
+    assert sim.now == 0.0
+    times = []
+    sim.schedule(7.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [7.5]
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(("first", sim.now))
+        sim.schedule(5.0, second)
+
+    def second():
+        fired.append(("second", sim.now))
+
+    sim.schedule(10.0, first)
+    sim.run()
+    assert fired == [("first", 10.0), ("second", 15.0)]
+
+
+def test_schedule_zero_delay_fires_at_now():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, fired.append, sim.now))
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(5.0, fired.append, "x")
+    sim.schedule(1.0, fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["early", "late"]
+    assert sim.now == 100.0
+
+
+def test_run_until_advances_clock_on_empty_queue():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_step_fires_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert not sim.step()
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(25.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [25.0]
+
+
+def test_max_events_safety_valve():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_fired == 5

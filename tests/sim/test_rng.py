@@ -1,0 +1,47 @@
+"""Tests for deterministic RNG derivation and exponential backoff."""
+
+import pytest
+
+from repro.sim.rng import ExponentialBackoff, derive_rng
+
+
+def test_derive_rng_is_deterministic():
+    a = derive_rng(7, "sequencer", 3)
+    b = derive_rng(7, "sequencer", 3)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_derive_rng_scopes_are_independent():
+    a = derive_rng(7, "sequencer", 3)
+    b = derive_rng(7, "sequencer", 4)
+    assert a.random() != b.random()
+
+
+def test_derive_rng_seed_changes_stream():
+    a = derive_rng(1, "x")
+    b = derive_rng(2, "x")
+    assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+
+def test_backoff_window_doubles_and_caps():
+    backoff = ExponentialBackoff(derive_rng(1, "bk"), 10.0, 35.0)
+    delays = [backoff.next_delay() for _ in range(6)]
+    assert all(0 <= d < 10.0 for d in delays[:1])
+    # Window sequence: 10, 20, 35, 35, ...
+    assert all(0 <= d < 35.0 for d in delays)
+
+
+def test_backoff_reset_restores_initial_window():
+    backoff = ExponentialBackoff(derive_rng(1, "bk"), 10.0, 1000.0)
+    for _ in range(5):
+        backoff.next_delay()
+    backoff.reset()
+    assert backoff.next_delay() < 10.0
+
+
+def test_backoff_rejects_bad_windows():
+    rng = derive_rng(1, "bk")
+    with pytest.raises(ValueError):
+        ExponentialBackoff(rng, 0.0, 10.0)
+    with pytest.raises(ValueError):
+        ExponentialBackoff(rng, 10.0, 5.0)

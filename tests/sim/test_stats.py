@@ -1,0 +1,60 @@
+"""Tests for counters, traffic meters, and latency trackers."""
+
+from repro.sim.stats import Counter, LatencyTracker, TrafficMeter
+
+
+def test_counter_accumulates():
+    counter = Counter()
+    counter.add("miss")
+    counter.add("miss", 2)
+    counter.add("hit")
+    assert counter.get("miss") == 3
+    assert counter.get("hit") == 1
+    assert counter.get("absent") == 0
+    assert counter.total() == 4
+    assert counter.as_dict() == {"miss": 3, "hit": 1}
+
+
+def test_traffic_meter_records_bytes_and_crossings():
+    meter = TrafficMeter()
+    meter.record_crossing("request", 8)
+    meter.record_crossing("request", 8)
+    meter.record_crossing("data", 72)
+    assert meter.bytes_by_category() == {"request": 16, "data": 72}
+    assert meter.crossings_by_category() == {"request": 2, "data": 1}
+    assert meter.total_bytes() == 88
+
+
+def test_traffic_meter_merged_grouping():
+    meter = TrafficMeter()
+    meter.record_crossing("request", 8)
+    meter.record_crossing("reissue", 8)
+    meter.record_crossing("data", 72)
+    meter.record_crossing("writeback", 72)
+    meter.record_crossing("mystery", 5)
+    merged = meter.merged(
+        {"requests": ["request", "reissue"], "data": ["data", "writeback"]}
+    )
+    assert merged == {"requests": 16, "data": 144, "other": 5}
+
+
+def test_latency_tracker_mean_and_max():
+    tracker = LatencyTracker(initial=100.0)
+    for value in (50.0, 150.0, 100.0):
+        tracker.record(value)
+    assert tracker.count == 3
+    assert tracker.mean == 100.0
+    assert tracker.max == 150.0
+
+
+def test_latency_tracker_ewma_converges():
+    tracker = LatencyTracker(initial=1000.0, alpha=0.5)
+    for _ in range(20):
+        tracker.record(100.0)
+    assert abs(tracker.ewma - 100.0) < 1.0
+
+
+def test_latency_tracker_initial_ewma_used_before_samples():
+    tracker = LatencyTracker(initial=200.0)
+    assert tracker.ewma == 200.0
+    assert tracker.mean == 0.0

@@ -1,0 +1,77 @@
+"""System builder tests."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.processor.sequencer import MemoryOp
+from repro.system.builder import build_system, simulate
+from repro.workloads.commercial import OLTP
+
+
+def test_builds_one_node_and_sequencer_per_processor():
+    config = SystemConfig(n_procs=8, protocol="tokenb", interconnect="torus")
+    system = build_system(config, {})
+    assert len(system.nodes) == 8
+    assert len(system.sequencers) == 8
+
+
+def test_all_protocols_buildable():
+    for protocol in ("tokenb", "snooping", "directory", "hammer", "null-token"):
+        interconnect = "tree" if protocol == "snooping" else "torus"
+        config = SystemConfig(
+            n_procs=4, protocol=protocol, interconnect=interconnect
+        )
+        system = build_system(config, {})
+        assert len(system.nodes) == 4
+
+
+def test_token_ledger_only_for_token_protocols():
+    token = build_system(
+        SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus"), {}
+    )
+    assert token.ledger is not None
+    directory = build_system(
+        SystemConfig(n_procs=4, protocol="directory", interconnect="torus"), {}
+    )
+    assert directory.ledger is None
+
+
+def test_simulate_replays_identical_streams_across_protocols():
+    results = {}
+    for protocol in ("tokenb", "directory"):
+        config = SystemConfig(n_procs=4, protocol=protocol, interconnect="torus")
+        results[protocol] = simulate(config, OLTP.scaled(50))
+    assert results["tokenb"].total_ops == results["directory"].total_ops
+
+
+def test_run_is_repeatable_from_fresh_builds():
+    config = SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus")
+    a = simulate(config, OLTP.scaled(40))
+    b = simulate(config, OLTP.scaled(40))
+    assert a.runtime_ns == b.runtime_ns
+    assert a.traffic_bytes == b.traffic_bytes
+
+
+def test_seed_changes_outcome():
+    config = SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus")
+    a = simulate(config, OLTP.scaled(40))
+    b = simulate(config.replace(seed=1234), OLTP.scaled(40))
+    assert a.runtime_ns != b.runtime_ns
+
+
+def test_result_fields_populated():
+    config = SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus")
+    result = simulate(config, OLTP.scaled(30))
+    assert result.total_ops == 120
+    assert result.total_misses > 0
+    assert result.runtime_ns > 0
+    assert result.events_fired > 0
+    assert len(result.per_proc_finish_ns) == 4
+    assert result.workload_name == "oltp"
+
+
+def test_streams_for_missing_procs_default_empty():
+    config = SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus")
+    system = build_system(config, {0: [MemoryOp(0x1000, False)]})
+    result = system.run()
+    assert result.total_ops == 1

@@ -1,0 +1,86 @@
+"""SimulationResult metric tests."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.system.simulator import SimulationResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        config=SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus"),
+        workload_name="test",
+        runtime_ns=10_000.0,
+        total_ops=500,
+        total_misses=100,
+        counters={
+            "miss_not_reissued": 90,
+            "miss_reissued_once": 6,
+            "miss_reissued_multi": 3,
+            "miss_persistent": 1,
+            "data_from_cache": 60,
+            "data_from_memory": 40,
+        },
+        traffic_bytes={"request": 800, "data": 7200, "reissue": 80, "token": 160},
+        events_fired=1000,
+        per_proc_finish_ns=[10_000.0, 9_000.0, 8_000.0, 7_000.0],
+        l1_hits=300,
+        l2_hits=100,
+        mean_miss_latency_ns=200.0,
+        ops_per_transaction=100,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+def test_cycles_per_transaction():
+    result = make_result()
+    assert result.transactions == 5.0
+    assert result.cycles_per_transaction == 2000.0
+
+
+def test_bytes_per_miss():
+    result = make_result()
+    assert result.total_traffic_bytes == 8240
+    assert result.bytes_per_miss == pytest.approx(82.4)
+
+
+def test_miss_classification_fractions():
+    classes = make_result().miss_classification()
+    assert classes["not_reissued"] == pytest.approx(0.90)
+    assert classes["reissued_once"] == pytest.approx(0.06)
+    assert classes["reissued_more"] == pytest.approx(0.03)
+    assert classes["persistent"] == pytest.approx(0.01)
+    assert sum(classes.values()) == pytest.approx(1.0)
+
+
+def test_traffic_breakdown_groups():
+    breakdown = make_result().traffic_breakdown_per_miss()
+    assert breakdown["requests"] == pytest.approx(8.0)
+    assert breakdown["data_and_writebacks"] == pytest.approx(72.0)
+    assert breakdown["reissues_and_persistent"] == pytest.approx(0.8)
+    assert breakdown["other_non_data"] == pytest.approx(1.6)
+
+
+def test_unknown_categories_fold_into_other():
+    result = make_result(traffic_bytes={"mystery": 100})
+    breakdown = result.traffic_breakdown_per_miss()
+    assert breakdown["other_non_data"] == pytest.approx(1.0)
+
+
+def test_cache_to_cache_fraction():
+    assert make_result().cache_to_cache_fraction() == pytest.approx(0.6)
+
+
+def test_zero_miss_guards():
+    result = make_result(total_misses=0, counters={}, traffic_bytes={})
+    assert result.bytes_per_miss == 0.0
+    assert all(v == 0.0 for v in result.miss_classification().values())
+    assert result.cache_to_cache_fraction() == 0.0
+
+
+def test_summary_mentions_key_metrics():
+    text = make_result().summary()
+    assert "tokenb" in text
+    assert "cycles/transaction" in text
+    assert "bytes/miss" in text

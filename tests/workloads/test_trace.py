@@ -1,0 +1,53 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro.processor.sequencer import MemoryOp
+from repro.workloads.trace import (
+    dump_streams,
+    dumps_streams,
+    load_streams,
+    loads_streams,
+)
+
+
+def sample_streams():
+    return {
+        0: [MemoryOp(0x1000, False, 5.0), MemoryOp(0x1040, True, 0.0, True)],
+        3: [MemoryOp(0x2000, True, 12.5)],
+    }
+
+
+def test_round_trip_via_string():
+    streams = sample_streams()
+    assert loads_streams(dumps_streams(streams)) == streams
+
+
+def test_round_trip_via_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    streams = sample_streams()
+    dump_streams(streams, path)
+    assert load_streams(path) == streams
+
+
+def test_header_required():
+    with pytest.raises(ValueError, match="header"):
+        loads_streams("0 0x1000 R 5.0 0\n")
+
+
+def test_malformed_line_rejected():
+    text = "# repro-trace-v1\n0 0x1000 R 5.0\n"
+    with pytest.raises(ValueError, match="5 fields"):
+        loads_streams(text)
+
+
+def test_bad_op_kind_rejected():
+    text = "# repro-trace-v1\n0 0x1000 X 5.0 0\n"
+    with pytest.raises(ValueError, match="R or W"):
+        loads_streams(text)
+
+
+def test_comments_and_blank_lines_skipped():
+    text = "# repro-trace-v1\n\n# comment\n0 0x1000 W 1.0 1\n"
+    streams = loads_streams(text)
+    assert streams == {0: [MemoryOp(0x1000, True, 1.0, True)]}
