@@ -1,0 +1,15 @@
+"""sys.path setup shared by the bench modules' script mode.
+
+``python benchmarks/bench_*.py`` puts only ``benchmarks/`` on
+``sys.path``; importing this module (which then *is* importable, being
+alongside the bench file) adds the repo root and ``src/`` so the
+``from benchmarks...`` and ``from repro...`` imports resolve.
+"""
+
+import sys
+from pathlib import Path
+
+_root = Path(__file__).resolve().parent.parent
+for _path in (str(_root), str(_root / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)

@@ -13,6 +13,11 @@ each on the OLTP model:
   glueless links the paper assumes; starved links erase its win.
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 from benchmarks.common import OPS_PER_PROC, pct_faster
 from repro import OLTP, SystemConfig, simulate
 
@@ -101,3 +106,7 @@ def bench_ablation_bandwidth(benchmark):
     assert ordered == sorted(ordered, reverse=True)
     # At Table 1 bandwidth the system is not badly saturated.
     assert ordered[2] < 1.5 * ordered[4]
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -1,0 +1,140 @@
+"""Engine throughput: events/second of the simulation kernel hot path.
+
+This is the perf trajectory's first datapoint (see EXPERIMENTS.md).  It
+measures raw engine throughput — events executed per wall-clock second —
+on the standard configurations, headlined by the profiled TokenB/torus
+commercial run (16 processors, 400 ops each) that motivated the
+tuple-heap kernel and batched-multicast work.
+
+Simulations are deliberately *not* served from the benchmark disk cache
+(that would be timing a JSON load); every sample is a full `simulate()`
+including workload generation and system construction.  The bench also
+asserts bit-stable repeats: every iteration of a configuration must
+fire exactly the same number of events.
+
+Results are written to ``BENCH_engine.json`` at the repo root (override
+with ``REPRO_BENCH_ENGINE_OUT``).  Set ``REPRO_BENCH_SMOKE=1`` for a
+quick single-repeat run (used by CI).
+
+Run it as ``pytest benchmarks/bench_engine_throughput.py -s`` or
+``python benchmarks/bench_engine_throughput.py``.
+"""
+
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import COMMERCIAL_WORKLOADS, SystemConfig, simulate
+
+#: The profiled configuration from the engine-overhaul work, first.
+STANDARD_CONFIGS = [
+    ("tokenb/torus", "apache", dict(protocol="tokenb", interconnect="torus")),
+    (
+        "tokenb/torus-unlim",
+        "apache",
+        dict(
+            protocol="tokenb",
+            interconnect="torus",
+            link_bandwidth_bytes_per_ns=None,
+        ),
+    ),
+    ("tokenb/tree", "apache", dict(protocol="tokenb", interconnect="tree")),
+    ("snooping/tree", "apache", dict(protocol="snooping", interconnect="tree")),
+    ("directory/torus", "apache", dict(protocol="directory", interconnect="torus")),
+    ("hammer/torus", "oltp", dict(protocol="hammer", interconnect="torus")),
+]
+
+OPS_PER_PROC = 400
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def measure(repeats: int | None = None) -> dict:
+    if repeats is None:
+        repeats = 1 if _smoke() else 3
+    configs = STANDARD_CONFIGS[:2] if _smoke() else STANDARD_CONFIGS
+    results = {}
+    for label, workload_name, config_kwargs in configs:
+        spec = COMMERCIAL_WORKLOADS[workload_name].scaled(OPS_PER_PROC)
+        config = SystemConfig(n_procs=16, **config_kwargs)
+        walls = []
+        events = None
+        for _ in range(repeats + 1):  # first iteration is warm-up
+            t0 = time.perf_counter()
+            result = simulate(config, spec)
+            walls.append(time.perf_counter() - t0)
+            if events is None:
+                events = result.events_fired
+            # Determinism sanity: repeats must replay bit-identically.
+            assert result.events_fired == events, (
+                f"{label}: nondeterministic events_fired "
+                f"({result.events_fired} != {events})"
+            )
+        best = min(walls[1:]) if len(walls) > 1 else walls[0]
+        results[label] = {
+            "workload": workload_name,
+            "n_procs": 16,
+            "ops_per_proc": OPS_PER_PROC,
+            "events_fired": events,
+            "wall_s_best": round(best, 4),
+            "wall_s_all": [round(w, 4) for w in walls],
+            "events_per_sec": round(events / best),
+        }
+    return results
+
+
+def write_report(results: dict) -> Path:
+    out = Path(
+        os.environ.get(
+            "REPRO_BENCH_ENGINE_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        )
+    )
+    report = {
+        "bench": "engine_throughput",
+        "smoke": _smoke(),
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "configs": results,
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def bench_engine_throughput(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    out = write_report(results)
+    print(f"\nEngine throughput (events/second); report -> {out}")
+    width = max(len(label) for label in results)
+    for label, row in results.items():
+        print(
+            f"  {label:<{width}}  {row['events_fired']:>9,} events  "
+            f"{row['wall_s_best']:>7.3f}s  {row['events_per_sec']:>9,} ev/s"
+        )
+    for label, row in results.items():
+        assert row["events_per_sec"] > 0
+        assert row["events_fired"] > 0
+
+
+if __name__ == "__main__":
+    results = measure()
+    out = write_report(results)
+    print(f"Engine throughput (events/second); report -> {out}")
+    for label, row in results.items():
+        print(
+            f"  {label:<20}  {row['events_fired']:>9,} events  "
+            f"{row['wall_s_best']:>7.3f}s  {row['events_per_sec']:>9,} ev/s"
+        )

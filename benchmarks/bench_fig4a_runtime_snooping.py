@@ -11,6 +11,11 @@ Paper claims reproduced as shape assertions:
 * snooping-on-torus is *not applicable* (no total order).
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 import pytest
 
 from benchmarks.common import pct_faster, run, workloads
@@ -64,3 +69,7 @@ def bench_fig4a_snooping_torus_not_applicable(benchmark):
         return True
 
     assert benchmark.pedantic(attempt, rounds=1, iterations=1)
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -6,6 +6,11 @@ same 72-byte data messages; TokenB adds only small reissue/persistent
 and dataless-token overheads.
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 from benchmarks.common import run, workloads
 from repro.analysis.report import format_traffic_bars
 
@@ -42,3 +47,7 @@ def bench_fig4b(benchmark):
             token_breakdown["reissues_and_persistent"]
             < 0.15 * token.bytes_per_miss
         )
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -15,6 +15,11 @@ Paper claims reproduced as shape assertions:
   (paper: 2-9%).
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 from benchmarks.common import pct_faster, run, workloads
 from repro.analysis.report import format_runtime_bars
 
@@ -66,3 +71,7 @@ def bench_fig5a(benchmark):
         # Hammer and DRAM-directory are in the same league.
         hammer_vs_dir = pct_faster(variants["Directory (DRAM)"], variants["Hammer"])
         assert -15.0 < hammer_vs_dir < 25.0
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -10,6 +10,11 @@ Paper claims reproduced as shape assertions:
 * data messages are the bulk of Directory's traffic (paper: 81%).
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 from benchmarks.common import run, workloads
 from repro.analysis.report import format_traffic_bars
 
@@ -45,3 +50,7 @@ def bench_fig5b(benchmark):
         breakdown = variants["Directory"].traffic_breakdown_per_miss()
         data_share = breakdown["data_and_writebacks"] / directory
         assert data_share > 0.6, f"{name}: data share {data_share:.0%}"
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -8,6 +8,11 @@ contended-sharing microbenchmark with unlimited link bandwidth (pure
 traffic measurement, no queueing).
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 from benchmarks.common import run
 from repro.workloads.microbench import contended_sharing_spec
 
@@ -62,3 +67,7 @@ def bench_q5_scalability(benchmark):
     }
     print(f"broadcast crossings per request: {crossings}")
     assert crossings[64] == 63 and crossings[16] == 15
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -14,6 +14,11 @@ All three token protocols share the identical correctness substrate —
 the decoupling claim made measurable.
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 from benchmarks.common import run, workloads
 from repro.analysis.report import format_runtime_bars, format_traffic_bars
 
@@ -52,3 +57,7 @@ def bench_section7_extensions(benchmark):
     assert tokenb.cycles_per_transaction <= tokend.cycles_per_transaction
     # TokenM saves some traffic relative to always-broadcast TokenB.
     assert variants["TokenM"].bytes_per_miss <= tokenb.bytes_per_miss
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -13,6 +13,11 @@ roughly 97% of misses succeed on the first attempt, only a few percent
 reissue, and well under 1% fall back to persistent requests.
 """
 
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
 from benchmarks.common import run, workloads
 from repro.analysis.report import format_table2
 
@@ -42,3 +47,7 @@ def bench_table2(benchmark):
     assert avg["reissued_once"] < 0.08
     assert avg["reissued_more"] < 0.03
     assert avg["persistent"] < 0.01
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

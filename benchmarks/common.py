@@ -1,8 +1,22 @@
 """Shared plumbing for the benchmark harnesses.
 
-Every harness regenerates one of the paper's tables or figures.  Runs
-are memoized per-process on their full parameterization so figure
-benches that share data points (e.g. 4a and 4b) do not re-simulate.
+Every harness regenerates one of the paper's tables or figures.  Three
+layers keep re-runs cheap:
+
+* an in-process memo keyed on the full parameterization, so figure
+  benches that share data points (e.g. 4a and 4b) do not re-simulate;
+* an on-disk JSON cache (``benchmarks/.bench_cache/``, override with
+  ``REPRO_BENCH_CACHE``) keyed on the same parameterization plus a
+  cache version, so repeated suite runs skip simulation entirely —
+  simulations are bit-deterministic (the determinism regression suite
+  pins this), which is what makes disk caching sound;
+* :func:`prewarm`, which fans cache misses out over a
+  ``ProcessPoolExecutor`` so a cold suite run uses every core.  Each
+  worker writes its own cache file (atomic rename), so there are no
+  concurrent-write hazards.
+
+Set ``REPRO_BENCH_PARALLEL=0`` to disable the process pool and
+``REPRO_BENCH_CACHE=none`` to disable the disk cache.
 
 The harness is not trying to match the paper's absolute cycle counts —
 the substrate here is a synthetic-workload simulator, not Simics+TFsim
@@ -15,6 +29,14 @@ measured values against the paper's.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
 from repro import COMMERCIAL_WORKLOADS, SystemConfig, simulate
 from repro.system.simulator import SimulationResult
 from repro.workloads.synthetic import WorkloadSpec
@@ -22,7 +44,128 @@ from repro.workloads.synthetic import WorkloadSpec
 #: Stream length per processor for the commercial-workload benches.
 OPS_PER_PROC = 400
 
-_memo: dict[tuple, SimulationResult] = {}
+#: Bump to invalidate the disk cache (e.g. if simulation outputs are
+#: ever intentionally changed; the determinism suite pins them).
+CACHE_VERSION = 1
+
+_memo: dict[str, SimulationResult] = {}
+
+
+def _cache_dir() -> Path | None:
+    configured = os.environ.get("REPRO_BENCH_CACHE")
+    if configured == "none":
+        return None
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parent / ".bench_cache"
+
+
+def _case_params(
+    workload: WorkloadSpec,
+    protocol: str,
+    interconnect: str,
+    bandwidth: float | None,
+    directory_latency: float,
+    n_procs: int,
+    ops_per_proc: int,
+) -> dict:
+    return {
+        "cache_version": CACHE_VERSION,
+        "workload": dataclasses.asdict(workload),
+        "protocol": protocol,
+        "interconnect": interconnect,
+        "bandwidth": bandwidth,
+        "directory_latency": directory_latency,
+        "n_procs": n_procs,
+        "ops_per_proc": ops_per_proc,
+    }
+
+
+def _cache_key(params: dict) -> str:
+    blob = json.dumps(params, sort_keys=True).encode()
+    digest = hashlib.sha256(blob).hexdigest()[:20]
+    return (
+        f"{params['workload']['name']}-{params['protocol']}"
+        f"-{params['interconnect']}-{digest}"
+    )
+
+
+def _result_to_payload(result: SimulationResult) -> dict:
+    return {
+        "config": dataclasses.asdict(result.config),
+        "workload_name": result.workload_name,
+        "runtime_ns": result.runtime_ns,
+        "total_ops": result.total_ops,
+        "total_misses": result.total_misses,
+        "counters": result.counters,
+        "traffic_bytes": result.traffic_bytes,
+        "events_fired": result.events_fired,
+        "per_proc_finish_ns": result.per_proc_finish_ns,
+        "l1_hits": result.l1_hits,
+        "l2_hits": result.l2_hits,
+        "mean_miss_latency_ns": result.mean_miss_latency_ns,
+        "ops_per_transaction": result.ops_per_transaction,
+    }
+
+
+def _result_from_payload(payload: dict) -> SimulationResult:
+    fields = dict(payload)
+    fields["config"] = SystemConfig(**fields["config"])
+    return SimulationResult(**fields)
+
+
+def _cache_load(key: str) -> SimulationResult | None:
+    directory = _cache_dir()
+    if directory is None:
+        return None
+    path = directory / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+        return _result_from_payload(payload)
+    except (OSError, ValueError, TypeError, KeyError):
+        # Missing, corrupt, or schema-mismatched entries are treated as
+        # misses and overwritten by the recompute.
+        return None
+
+
+def _cache_store(key: str, result: SimulationResult) -> None:
+    directory = _cache_dir()
+    if directory is None:
+        return
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(_result_to_payload(result), sort_keys=True)
+    # Atomic publish: concurrent workers may race on the same key, but
+    # each rename installs a complete file with identical contents.
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp, directory / f"{key}.json")
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _compute(params: dict) -> SimulationResult:
+    workload = WorkloadSpec(**params["workload"])
+    config = SystemConfig(
+        protocol=params["protocol"],
+        interconnect=params["interconnect"],
+        n_procs=params["n_procs"],
+        link_bandwidth_bytes_per_ns=params["bandwidth"],
+        directory_latency_ns=params["directory_latency"],
+    )
+    return simulate(config, workload.scaled(params["ops_per_proc"]))
+
+
+def _compute_and_store(params: dict) -> str:
+    """Worker entry point: simulate one case and publish its cache file."""
+    key = _cache_key(params)
+    result = _compute(params)
+    _cache_store(key, result)
+    return key
 
 
 def run(
@@ -34,9 +177,9 @@ def run(
     n_procs: int = 16,
     ops_per_proc: int = OPS_PER_PROC,
 ) -> SimulationResult:
-    """Simulate one configuration (memoized)."""
-    key = (
-        workload.name,
+    """Simulate one configuration (memoized in-process and on disk)."""
+    params = _case_params(
+        workload,
         protocol,
         interconnect,
         bandwidth,
@@ -44,18 +187,87 @@ def run(
         n_procs,
         ops_per_proc,
     )
+    key = _cache_key(params)
     result = _memo.get(key)
     if result is None:
-        config = SystemConfig(
-            protocol=protocol,
-            interconnect=interconnect,
-            n_procs=n_procs,
-            link_bandwidth_bytes_per_ns=bandwidth,
-            directory_latency_ns=directory_latency,
-        )
-        result = simulate(config, workload.scaled(ops_per_proc))
+        result = _cache_load(key)
+        if result is None:
+            result = _compute(params)
+            _cache_store(key, result)
         _memo[key] = result
     return result
+
+
+def standard_grid() -> list[dict]:
+    """Every configuration the figure suite touches, as worker params.
+
+    Kept in sync with the bench modules so :func:`prewarm` covers a full
+    suite run; a config missing here still works — it is simply computed
+    (and disk-cached) on first use instead of in parallel.
+    """
+    grid: list[dict] = []
+    for spec in COMMERCIAL_WORKLOADS.values():
+        for protocol, interconnect, bandwidth, directory_latency in [
+            ("tokenb", "tree", 3.2, 80.0),
+            ("snooping", "tree", 3.2, 80.0),
+            ("tokenb", "torus", 3.2, 80.0),
+            ("tokenb", "tree", None, 80.0),
+            ("snooping", "tree", None, 80.0),
+            ("tokenb", "torus", None, 80.0),
+            ("hammer", "torus", 3.2, 80.0),
+            ("directory", "torus", 3.2, 80.0),
+            ("directory", "torus", 3.2, 0.0),
+            ("hammer", "torus", None, 80.0),
+            ("directory", "torus", None, 80.0),
+            ("tokend", "torus", 3.2, 80.0),
+            ("tokenm", "torus", 3.2, 80.0),
+        ]:
+            grid.append(
+                _case_params(
+                    spec, protocol, interconnect, bandwidth, directory_latency,
+                    16, OPS_PER_PROC,
+                )
+            )
+    from repro.workloads.microbench import contended_sharing_spec
+
+    contended = contended_sharing_spec(ops_per_proc=150)
+    for n_procs in (16, 32, 64):
+        for protocol in ("tokenb", "directory"):
+            grid.append(
+                _case_params(contended, protocol, "torus", None, 80.0, n_procs, 150)
+            )
+    return grid
+
+
+def prewarm(cases: list[dict] | None = None, max_workers: int | None = None) -> int:
+    """Fill the disk cache for ``cases`` (default: the standard grid).
+
+    Misses are computed in parallel over a process pool; returns the
+    number of configurations that were actually simulated.  No-op when
+    the disk cache or parallelism is disabled.
+    """
+    if _cache_dir() is None:
+        return 0
+    if os.environ.get("REPRO_BENCH_PARALLEL", "1") == "0":
+        return 0
+    if cases is None:
+        cases = standard_grid()
+    misses = [
+        params
+        for params in cases
+        if not (_cache_dir() / f"{_cache_key(params)}.json").exists()
+    ]
+    if not misses:
+        return 0
+    if max_workers is None:
+        max_workers = min(len(misses), os.cpu_count() or 1)
+    if max_workers <= 1:
+        for params in misses:
+            _compute_and_store(params)
+        return len(misses)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        list(pool.map(_compute_and_store, misses))
+    return len(misses)
 
 
 def workloads() -> dict[str, WorkloadSpec]:

@@ -92,14 +92,14 @@ class SetAssociativeCache:
 
     def lookup(self, block: int, touch: bool = True) -> CacheLine | None:
         """Return the line for ``block`` if present (updating LRU)."""
-        line = self._set_for(block).get(block)
+        line = self._sets[block % self.n_sets].get(block)
         if line is not None and touch:
             self._use_clock += 1
             line._last_use = self._use_clock
         return line
 
     def contains(self, block: int) -> bool:
-        return block in self._set_for(block)
+        return block in self._sets[block % self.n_sets]
 
     def set_has_room(self, block: int) -> bool:
         """True if ``block`` could be inserted without an eviction."""

@@ -50,6 +50,9 @@ class ProtocolNode(abc.ABC):
         self.checker = checker
         self.counters = counters
         self.addr_map = AddressMap(config.n_procs, config.block_bytes)
+        # Hot-path constants, hoisted so per-message code avoids chained
+        # attribute lookups (home mapping is block % n_nodes).
+        self._home_mod = self.addr_map.n_nodes
         self.l2 = SetAssociativeCache.from_geometry(
             config.l2_bytes, config.l2_assoc, config.block_bytes
         )
@@ -204,15 +207,15 @@ class ProtocolNode(abc.ABC):
     # ------------------------------------------------------------------
 
     def home_of(self, block: int) -> int:
-        return self.addr_map.home_of(block)
+        return block % self._home_mod
 
     def is_home(self, block: int) -> bool:
-        return self.home_of(block) == self.node_id
+        return block % self._home_mod == self.node_id
 
     def send_msg(self, msg: CoherenceMessage) -> None:
         """Route a unicast message; node-local traffic skips the network."""
         if msg.dst == self.node_id:
-            self.sim.schedule(0.0, self.handle_message, msg)
+            self.sim.post(0.0, self.handle_message, msg)
             return
         self.network.send(msg)
 

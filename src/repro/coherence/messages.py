@@ -36,7 +36,7 @@ from repro.interconnect.message import (
 )
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CoherenceMessage(Message):
     """A protocol message; see module docstring for the ``mtype`` values."""
 

@@ -79,7 +79,7 @@ class TokenDNode(TokenBNode):
     # -- issue policy: unicast to home --------------------------------
 
     def _issue_transaction(self, entry: MshrEntry) -> None:
-        line = self.l2.lookup(entry.block, touch=False)
+        line = self.l2.lookup(entry.block, False)
         if entry.for_write:
             self.predictor.note_store_miss(
                 entry.block, line is not None and line.tokens > 0
@@ -153,7 +153,7 @@ class TokenDNode(TokenBNode):
                 vnet="forward",
                 tag=_REDIRECTED,
             )
-            self.sim.schedule(
+            self.sim.post(
                 self.config.controller_latency_ns, self.send_msg, copy
             )
         # Learn: an exclusive requester becomes the sole predicted
@@ -240,4 +240,4 @@ class TokenMNode(TokenBNode):
                 vnet="request",
             )
             delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-            self.sim.schedule(delay, self._memory_respond, local)
+            self.sim.post(delay, self._memory_respond, local)

@@ -84,6 +84,38 @@ class TokenNodeBase(ProtocolNode):
         #: Home memory token state, lazily "all tokens at home".
         self._memory: dict[int, _MemoryTokens] = {}
         self.miss_latency = LatencyTracker(initial=4 * config.link_latency_ns * 4)
+        # Hot-path constants and the message dispatch table, hoisted out
+        # of the per-message handlers.
+        self._snoop_delay = config.l2_latency_ns
+        self._home_delay = config.controller_latency_ns + config.dram_latency_ns
+        transient = self._handle_transient
+        if type(self)._handle_transient is TokenNodeBase._handle_transient:
+            # No subclass override: bind the transient fast path as a
+            # closure over locals — GETS/GETM snoops are the single most
+            # frequent message, and this skips every attribute load.
+            def transient(
+                msg,
+                post=sim.post,
+                snoop_delay=self._snoop_delay,
+                home_delay=self._home_delay,
+                cache_respond=self._cache_respond,
+                memory_respond=self._memory_respond,
+                home_mod=self._home_mod,
+                me=node_id,
+            ):
+                post(snoop_delay, cache_respond, msg)
+                if msg.block % home_mod == me:
+                    post(home_delay, memory_respond, msg)
+
+        self._dispatch = {
+            "GETS": transient,
+            "GETM": transient,
+            "TOKEN_DATA": self._handle_tokens,
+            "TOKEN_ONLY": self._handle_tokens,
+            "PACT": self._handle_activation,
+            "PDEACT": self._handle_deactivation,
+        }
+        self._dispatch_get = self._dispatch.get
 
     # ------------------------------------------------------------------
     # Token ledger interface
@@ -93,7 +125,7 @@ class TokenNodeBase(ProtocolNode):
         """(tokens, owner-count) currently held by this node."""
         tokens = 0
         owners = 0
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if line is not None:
             tokens += line.tokens
             owners += 1 if line.owner_token else 0
@@ -128,20 +160,15 @@ class TokenNodeBase(ProtocolNode):
 
     def handle_message(self, msg: CoherenceMessage) -> None:
         mtype = msg.mtype
-        if mtype in ("GETS", "GETM"):
-            self._handle_transient(msg)
-        elif mtype in ("TOKEN_DATA", "TOKEN_ONLY"):
-            self._handle_tokens(msg)
+        handler = self._dispatch_get(mtype)
+        if handler is not None:
+            handler(msg)
         elif mtype == "PREQ":
             self.arbiter.handle_request(msg.block, msg.requester)
-        elif mtype == "PACT":
-            self._handle_activation(msg)
         elif mtype == "PACT_ACK":
             self.arbiter.handle_activation_ack(msg.src)
         elif mtype == "PDEACT_REQ":
             self.arbiter.handle_deactivate_request(msg.block, msg.requester)
-        elif mtype == "PDEACT":
-            self._handle_deactivation(msg)
         elif mtype == "PDEACT_ACK":
             self.arbiter.handle_deactivation_ack(msg.src)
         else:
@@ -154,10 +181,10 @@ class TokenNodeBase(ProtocolNode):
     def _handle_transient(self, msg: CoherenceMessage) -> None:
         # Cache-side snoop costs an L2 tag access; memory-side response
         # needs the controller plus the DRAM (data + ECC token state).
-        self.sim.schedule(self.config.l2_latency_ns, self._cache_respond, msg)
-        if self.is_home(msg.block):
-            delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-            self.sim.schedule(delay, self._memory_respond, msg)
+        sim = self.sim
+        sim.post(self._snoop_delay, self._cache_respond, msg)
+        if msg.block % self._home_mod == self.node_id:
+            sim.post(self._home_delay, self._memory_respond, msg)
 
     def _cache_respond(self, msg: CoherenceMessage) -> None:
         """Performance-protocol policy hook (Section 4.1: the protocol
@@ -308,7 +335,7 @@ class TokenNodeBase(ProtocolNode):
     def _after_token_gain(self, block: int) -> None:
         """Check whether an outstanding miss is now satisfied."""
         entry = self.mshrs.get(block)
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if entry is None or line is None:
             return
         if entry.for_write:
@@ -439,7 +466,7 @@ class TokenNodeBase(ProtocolNode):
     def _forward_held_tokens(self, entry: _TableEntry) -> None:
         """Send every token this node holds for the block to the initiator."""
         block = entry.block
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if line is not None and line.tokens > 0:
             # A forwarded line may be mid-miss here; the MSHR (if any)
             # stays outstanding and will be satisfied later or escalate.

@@ -94,7 +94,7 @@ class TokenBNode(TokenNodeBase):
                 vnet="request",
             )
             delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-            self.sim.schedule(delay, self._memory_respond, local)
+            self.sim.post(delay, self._memory_respond, local)
 
     # ------------------------------------------------------------------
     # Policy: reissue timeout, then persistent escalation
@@ -134,11 +134,11 @@ class TokenBNode(TokenNodeBase):
 
     def _cache_respond(self, msg: CoherenceMessage) -> None:
         block = msg.block
-        if self.persistent_entry_for(block) is not None:
+        if self._table_by_block.get(block) is not None:
             return  # active persistent requests override policy
         if msg.requester == self.node_id:
             return
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if line is None or line.tokens == 0:
             return  # state I ignores all requests
         if msg.mtype == "GETS":

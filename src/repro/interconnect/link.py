@@ -28,6 +28,17 @@ class Link:
         traffic: Optional meter recording every crossing.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "latency",
+        "bandwidth",
+        "traffic",
+        "_free_at",
+        "_crossings",
+        "_record",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -47,6 +58,9 @@ class Link:
         self.traffic = traffic
         self._free_at = 0.0
         self._crossings = 0
+        # Pre-bound recording method keeps the per-message path free of
+        # attribute lookups and None checks.
+        self._record = traffic.record_crossing if traffic is not None else None
 
     @property
     def crossings(self) -> int:
@@ -69,15 +83,30 @@ class Link:
 
         Returns the arrival time (useful for tests).
         """
-        start = max(self.sim.now, self._free_at)
+        arrival = self.occupy(size_bytes, category)
+        self.sim.post_at(arrival, deliver, *args)
+        return arrival
+
+    def occupy(self, size_bytes: int, category: str) -> float:
+        """Claim the serialization slot and account one crossing.
+
+        Returns the arrival time; scheduling the delivery is the caller's
+        job.  This is the batched-multicast building block: a fan-out stage
+        can occupy several links and post all deliveries itself without
+        going through per-link callback plumbing.
+        """
+        sim = self.sim
+        now = sim._now
+        free = self._free_at
+        start = now if now >= free else free
         if self.bandwidth is not None:
             serialization = size_bytes / self.bandwidth
         else:
             serialization = 0.0
-        self._free_at = start + serialization
-        arrival = start + serialization + self.latency
+        busy_until = start + serialization
+        self._free_at = busy_until
         self._crossings += 1
-        if self.traffic is not None:
-            self.traffic.record_crossing(category, size_bytes)
-        self.sim.schedule_at(arrival, deliver, *args)
-        return arrival
+        record = self._record
+        if record is not None:
+            record(category, size_bytes)
+        return busy_until + self.latency

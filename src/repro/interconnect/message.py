@@ -21,7 +21,7 @@ BROADCAST = -1
 _message_ids = itertools.count()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Message:
     """Base class for everything that crosses the interconnect.
 

@@ -42,18 +42,20 @@ class Interconnect(abc.ABC):
         self.link_latency = link_latency
         self.link_bandwidth = link_bandwidth
         self.traffic = traffic if traffic is not None else TrafficMeter()
-        self._handlers: dict[int, MessageHandler] = {}
+        # Indexed by node id; None until attached.  A list keeps delivery
+        # — the single busiest operation in the simulator — to one index.
+        self._handlers: list[MessageHandler | None] = [None] * n_nodes
 
     def attach(self, node_id: int, handler: MessageHandler) -> None:
         """Register the message handler for ``node_id``."""
         if not 0 <= node_id < self.n_nodes:
             raise ValueError(f"node_id {node_id} out of range")
-        if node_id in self._handlers:
+        if self._handlers[node_id] is not None:
             raise ValueError(f"node {node_id} already attached")
         self._handlers[node_id] = handler
 
     def _deliver(self, node_id: int, msg: Message) -> None:
-        handler = self._handlers.get(node_id)
+        handler = self._handlers[node_id]
         if handler is None:
             raise RuntimeError(f"no handler attached to node {node_id}")
         handler(msg)

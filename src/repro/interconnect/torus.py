@@ -10,6 +10,17 @@ links (the Theta(n) cost Question 5 discusses).
 The torus provides *no* request total order — two broadcasts may be
 observed in different orders by different nodes — which is precisely why
 traditional snooping cannot run on it and why TokenB can.
+
+Hot-path notes: multicast fan-out is batched per node.  Each fan-out step
+resolves a precomputed, link-resolved spanning-tree plan (no per-hop dict
+lookups or closure plumbing) and posts its children's arrivals directly on
+the kernel's tuple heap.  The limited-bandwidth path preserves the exact
+``(time, seq)`` event ordering of the reference hop-by-hop implementation.
+With unlimited link bandwidth the whole subtree's arrival times are
+precomputed at broadcast time and every delivery is posted up front —
+serialization is zero, so no intermediate fan-out state can affect the
+timestamps; see :meth:`_broadcast_unlimited` for the (tie-breaking only)
+caveat on seq assignment.
 """
 
 from __future__ import annotations
@@ -63,9 +74,14 @@ class TorusInterconnect(Interconnect):
                     link_bandwidth,
                     self.traffic,
                 )
-        # Multicast spanning trees, computed lazily per source:
-        # children[source][vertex] -> list of (direction, neighbour).
-        self._multicast_children: dict[int, dict[int, list[tuple[str, int]]]] = {}
+        # Multicast spanning-tree plans, computed lazily per source.
+        # Batched form: plan[vertex] -> tuple of (link, child) pairs.
+        self._multicast_plan: dict[int, tuple[tuple[Link, int], ...]] = {}
+        # Unlimited-bandwidth fast path: flat BFS order of the whole
+        # subtree as (depth, node, link) triples, plus the tree depth.
+        self._flat_plan: dict[int, tuple[tuple[tuple[int, int, Link], ...], int]] = {}
+        # Unicast route plans: (src, dst) -> tuple of (link, next_node).
+        self._route_plan: dict[tuple[int, int], tuple[tuple[Link, int], ...]] = {}
 
     # ------------------------------------------------------------------
     # Geometry
@@ -114,45 +130,48 @@ class TorusInterconnect(Interconnect):
     # Unicast
     # ------------------------------------------------------------------
 
+    def _unicast_plan(self, src: int, dst: int) -> tuple[tuple[Link, int], ...]:
+        plan = self._route_plan.get((src, dst))
+        if plan is None:
+            hops = []
+            at_node = src
+            for direction in self.route(src, dst):
+                next_node = self.neighbour(at_node, direction)
+                hops.append((self._links[(at_node, direction)], next_node))
+                at_node = next_node
+            plan = tuple(hops)
+            self._route_plan[(src, dst)] = plan
+        return plan
+
     def send(self, msg: Message) -> None:
         if msg.is_broadcast():
             raise ValueError("use broadcast() for broadcast messages")
-        route = self.route(msg.src, msg.dst)
-        if not route:
+        plan = self._unicast_plan(msg.src, msg.dst)
+        if not plan:
             # Same node: deliver locally without touching the network.
-            self.sim.schedule(0.0, self._deliver, msg.dst, msg)
+            self.sim.post(0.0, self._deliver, msg.dst, msg)
             return
-        self._forward_unicast(msg, msg.src, route, 0)
+        self._forward_unicast(msg, plan, 0)
 
     def _forward_unicast(
-        self, msg: Message, at_node: int, route: list[str], hop: int
+        self, msg: Message, plan: tuple[tuple[Link, int], ...], hop: int
     ) -> None:
-        direction = route[hop]
-        next_node = self.neighbour(at_node, direction)
-        if hop + 1 == len(route):
-            self._links[(at_node, direction)].send(
-                msg.size_bytes, msg.category, self._deliver, next_node, msg
-            )
+        link, next_node = plan[hop]
+        arrival = link.occupy(msg.size_bytes, msg.category)
+        if hop + 1 == len(plan):
+            self.sim.post_at(arrival, self._deliver, next_node, msg)
         else:
-            self._links[(at_node, direction)].send(
-                msg.size_bytes,
-                msg.category,
-                self._forward_unicast,
-                msg,
-                next_node,
-                route,
-                hop + 1,
-            )
+            self.sim.post_at(arrival, self._forward_unicast, msg, plan, hop + 1)
 
     # ------------------------------------------------------------------
     # Broadcast (tree-based multicast)
     # ------------------------------------------------------------------
 
     def _spanning_tree(self, source: int) -> dict[int, list[tuple[str, int]]]:
-        children = self._multicast_children.get(source)
-        if children is not None:
-            return children
-        children = {node: [] for node in range(self.n_nodes)}
+        """BFS spanning tree: vertex -> [(direction, child)] (for tests)."""
+        children: dict[int, list[tuple[str, int]]] = {
+            node: [] for node in range(self.n_nodes)
+        }
         visited = {source}
         frontier = deque([source])
         while frontier:
@@ -163,38 +182,132 @@ class TorusInterconnect(Interconnect):
                     visited.add(nbr)
                     children[vertex].append((direction, nbr))
                     frontier.append(nbr)
-        self._multicast_children[source] = children
         return children
 
+    def _multicast_plans(
+        self, source: int
+    ) -> tuple[tuple[tuple[Link, int], ...], ...]:
+        """Link-resolved spanning-tree fan-out plan rooted at ``source``."""
+        plan = self._multicast_plan.get(source)
+        if plan is None:
+            children = self._spanning_tree(source)
+            plan = tuple(
+                tuple(
+                    (self._links[(vertex, direction)], child)
+                    for direction, child in children[vertex]
+                )
+                for vertex in range(self.n_nodes)
+            )
+            self._multicast_plan[source] = plan
+
+            # Flat subtree order for the unlimited-bandwidth fast path:
+            # BFS over the plan, recording (depth, node, inbound link) in
+            # exactly the order the hop-by-hop fan-out would schedule the
+            # arrivals (per depth level, parents in their own arrival
+            # order, children in direction order).
+            flat: list[tuple[int, int, Link]] = []
+            level = [source]
+            depth = 0
+            while level:
+                depth += 1
+                nxt: list[int] = []
+                for vertex in level:
+                    for link, child in plan[vertex]:
+                        flat.append((depth, child, link))
+                        nxt.append(child)
+                level = nxt
+            self._flat_plan[source] = (tuple(flat), depth)
+        return plan
+
     def broadcast(self, msg: Message, include_self: bool = False) -> None:
+        plan = self._multicast_plans(msg.src)
         if include_self:
-            self.sim.schedule(0.0, self._deliver, msg.src, msg)
-        self._fanout_multicast(msg, msg.src, self._spanning_tree(msg.src))
+            self.sim.post(0.0, self._deliver, msg.src, msg)
+        if self.link_bandwidth is None:
+            self._broadcast_unlimited(msg)
+        else:
+            self._fanout_multicast(msg, msg.src, plan)
 
     def _fanout_multicast(
         self,
         msg: Message,
         at_node: int,
-        children: dict[int, list[tuple[str, int]]],
+        plan: tuple[tuple[tuple[Link, int], ...], ...],
     ) -> None:
-        for direction, child in children[at_node]:
-            self._links[(at_node, direction)].send(
-                msg.size_bytes,
-                msg.category,
-                self._multicast_arrive,
-                msg,
-                child,
-                children,
-            )
+        # Batched fan-out: claim every child link's serialization slot
+        # inline (same float ops as Link.occupy, serialization hoisted —
+        # all torus links share one bandwidth) and account the traffic in
+        # a single batched call.
+        hops = plan[at_node]
+        if not hops:
+            return
+        sim = self.sim
+        post_at = sim.post_at
+        arrive = self._multicast_arrive
+        size = msg.size_bytes
+        now = sim._now
+        serialization = size / self.link_bandwidth
+        latency = self.link_latency
+        for link, child in hops:
+            free = link._free_at
+            start = now if now >= free else free
+            busy_until = start + serialization
+            link._free_at = busy_until
+            link._crossings += 1
+            post_at(busy_until + latency, arrive, msg, child, plan)
+        self.traffic.record_crossings(msg.category, size, len(hops))
 
     def _multicast_arrive(
         self,
         msg: Message,
         node: int,
-        children: dict[int, list[tuple[str, int]]],
+        plan: tuple[tuple[tuple[Link, int], ...], ...],
     ) -> None:
-        self._deliver(node, msg)
-        self._fanout_multicast(msg, node, children)
+        # Deliver, then fan out to this node's subtree in one event
+        # (this fires once per node per broadcast).
+        handler = self._handlers[node]
+        if handler is None:
+            raise RuntimeError(f"no handler attached to node {node}")
+        handler(msg)
+        if plan[node]:
+            self._fanout_multicast(msg, node, plan)
+
+    def _broadcast_unlimited(self, msg: Message) -> None:
+        """Post the whole subtree's deliveries up front (zero serialization).
+
+        With unlimited bandwidth a link's serialization slot is always
+        free, so the arrival at depth ``d`` is a pure function of the
+        broadcast time — no intermediate fan-out event can perturb it.
+        The arrival chain reproduces the hop-by-hop float arithmetic
+        (each depth re-anchored by ``post_at``'s delay form at the
+        previous depth's arrival) so timestamps are bit-identical to the
+        reference implementation.
+
+        Seq assignment differs from hop-by-hop fan-out: all deliveries
+        draw seqs at broadcast time rather than as parents arrive, so if
+        an unrelated event lands on *exactly* the same timestamp as a
+        deeper delivery, the tie can break the other way.  Ordering
+        stays fully deterministic run-to-run either way (and the entire
+        figure-suite grid was verified bit-identical against the
+        reference); the determinism suite pins the fast path's outputs.
+        """
+        flat, max_depth = self._flat_plan[msg.src]
+        sim = self.sim
+        post_at = sim.post_at
+        deliver = self._deliver
+        latency = self.link_latency
+        arrivals = []
+        a = sim._now
+        for _ in range(max_depth):
+            hop = a + latency
+            a = a + (hop - a)
+            arrivals.append(a)
+        size = msg.size_bytes
+        category = msg.category
+        for depth, node, link in flat:
+            link._crossings += 1
+            post_at(arrivals[depth - 1], deliver, node, msg)
+        self.traffic.record_crossings(category, size, len(flat))
 
     def broadcast_crossings(self) -> int:
         """Link crossings per broadcast: the N-1 spanning-tree edges."""

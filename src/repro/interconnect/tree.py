@@ -57,6 +57,11 @@ class OrderedTreeInterconnect(Interconnect):
         self._in_root = [link(f"in_root[{g}]") for g in range(self.n_groups)]
         self._root_out = [link(f"root_out[{g}]") for g in range(self.n_groups)]
         self._down = [link(f"down[{i}]") for i in range(n_nodes)]
+        #: Per-group (node, down-link) fan-out plan for the delivery stage.
+        self._members: list[tuple[tuple[int, Link], ...]] = [
+            tuple((node, self._down[node]) for node in self._group_members(g))
+            for g in range(self.n_groups)
+        ]
 
         self._next_order_seq = 0
         self._expected_seq = [0] * n_nodes
@@ -83,26 +88,24 @@ class OrderedTreeInterconnect(Interconnect):
             )
         if msg.src == msg.dst:
             # Node-local traffic never leaves the integrated node.
-            self.sim.schedule(0.0, self._deliver, msg.dst, msg)
+            self.sim.post(0.0, self._deliver, msg.dst, msg)
             return
-        self._up[msg.src].send(
-            msg.size_bytes, msg.category, self._unicast_at_in_switch, msg
-        )
+        arrival = self._up[msg.src].occupy(msg.size_bytes, msg.category)
+        self.sim.post_at(arrival, self._unicast_at_in_switch, msg)
 
     def _unicast_at_in_switch(self, msg: Message) -> None:
-        self._in_root[self.group_of(msg.src)].send(
-            msg.size_bytes, msg.category, self._unicast_at_root, msg
-        )
+        link = self._in_root[msg.src // self.fanout]
+        arrival = link.occupy(msg.size_bytes, msg.category)
+        self.sim.post_at(arrival, self._unicast_at_root, msg)
 
     def _unicast_at_root(self, msg: Message) -> None:
-        self._root_out[self.group_of(msg.dst)].send(
-            msg.size_bytes, msg.category, self._unicast_at_out_switch, msg
-        )
+        link = self._root_out[msg.dst // self.fanout]
+        arrival = link.occupy(msg.size_bytes, msg.category)
+        self.sim.post_at(arrival, self._unicast_at_out_switch, msg)
 
     def _unicast_at_out_switch(self, msg: Message) -> None:
-        self._down[msg.dst].send(
-            msg.size_bytes, msg.category, self._deliver, msg.dst, msg
-        )
+        arrival = self._down[msg.dst].occupy(msg.size_bytes, msg.category)
+        self.sim.post_at(arrival, self._deliver, msg.dst, msg)
 
     # ------------------------------------------------------------------
     # Broadcast
@@ -118,42 +121,40 @@ class OrderedTreeInterconnect(Interconnect):
         """
         if msg.vnet == ORDERED_VNET:
             include_self = True
-        self._up[msg.src].send(
-            msg.size_bytes,
-            msg.category,
-            self._broadcast_at_in_switch,
-            msg,
-            include_self,
-        )
+        arrival = self._up[msg.src].occupy(msg.size_bytes, msg.category)
+        self.sim.post_at(arrival, self._broadcast_at_in_switch, msg, include_self)
 
     def _broadcast_at_in_switch(self, msg: Message, include_self: bool) -> None:
-        self._in_root[self.group_of(msg.src)].send(
-            msg.size_bytes, msg.category, self._broadcast_at_root, msg, include_self
-        )
+        link = self._in_root[msg.src // self.fanout]
+        arrival = link.occupy(msg.size_bytes, msg.category)
+        self.sim.post_at(arrival, self._broadcast_at_root, msg, include_self)
 
     def _broadcast_at_root(self, msg: Message, include_self: bool) -> None:
         if msg.vnet == ORDERED_VNET:
             msg.ordered_seq = self._next_order_seq
             self._next_order_seq += 1
-        for group in range(self.n_groups):
-            self._root_out[group].send(
-                msg.size_bytes,
-                msg.category,
-                self._broadcast_at_out_switch,
-                msg,
-                group,
-                include_self,
-            )
+        sim = self.sim
+        size = msg.size_bytes
+        category = msg.category
+        at_out = self._broadcast_at_out_switch
+        for group, link in enumerate(self._root_out):
+            arrival = link.occupy(size, category)
+            sim.post_at(arrival, at_out, msg, group, include_self)
 
     def _broadcast_at_out_switch(
         self, msg: Message, group: int, include_self: bool
     ) -> None:
-        for node in self._group_members(group):
-            if node == msg.src and not include_self:
+        # Batched delivery fan-out: one precomputed plan walk per group.
+        sim = self.sim
+        size = msg.size_bytes
+        category = msg.category
+        arrive = self._arrive_at_node
+        src = msg.src
+        for node, down in self._members[group]:
+            if node == src and not include_self:
                 continue
-            self._down[node].send(
-                msg.size_bytes, msg.category, self._arrive_at_node, node, msg
-            )
+            arrival = down.occupy(size, category)
+            sim.post_at(arrival, arrive, node, msg)
 
     def _arrive_at_node(self, node: int, msg: Message) -> None:
         if msg.ordered_seq is None:

@@ -40,4 +40,4 @@ class Dram:
     def access(self, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback`` after one DRAM access latency."""
         self._accesses += 1
-        self.sim.schedule(self.latency, callback, *args)
+        self.sim.post(self.latency, callback, *args)

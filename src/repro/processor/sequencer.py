@@ -82,12 +82,17 @@ class Sequencer:
         self._done_issuing = False
         self._dispatch_pending = False
 
+        # Hot-path constants hoisted out of the per-op handlers.
+        self._l1_latency = config.l1_latency_ns
+        self._l2_latency = config.l2_latency_ns
+        self._block_of = node.addr_map.block_of
+
     # ------------------------------------------------------------------
     # Issue engine
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        self.sim.schedule(0.0, self._pump)
+        self.sim.post(0.0, self._pump)
 
     def _fetch_next(self) -> None:
         if self._current_op is not None or self._done_issuing:
@@ -114,7 +119,7 @@ class Sequencer:
             return  # re-pumped on completion
         self._dispatch_pending = True
         delay = max(0.0, self._ready_at - self.sim.now)
-        self.sim.schedule(delay, self._dispatch)
+        self.sim.post(delay, self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
@@ -123,11 +128,11 @@ class Sequencer:
         self._current_op = None
         self.issued_ops += 1
         self.outstanding += 1
-        block = self.node.addr_map.block_of(op.address)
+        block = self._block_of(op.address)
         issue_version = self.checker.current_version(block)
         started = self.sim.now
-        self.sim.schedule(
-            self.config.l1_latency_ns, self._after_l1, op, block, issue_version,
+        self.sim.post(
+            self._l1_latency, self._after_l1, op, block, issue_version,
             started,
         )
         self._pump()  # keep issuing past this op (memory-level parallelism)
@@ -147,8 +152,8 @@ class Sequencer:
                     version = self.node.perform_store(block)
                 self._complete(op, block, version, issue_version, started)
                 return
-        self.sim.schedule(
-            self.config.l2_latency_ns, self._after_l2, op, block, issue_version,
+        self.sim.post(
+            self._l2_latency, self._after_l2, op, block, issue_version,
             started,
         )
 

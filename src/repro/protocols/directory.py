@@ -90,7 +90,7 @@ class DirectoryNode(ProtocolNode):
 
     def _issue_transaction(self, entry: MshrEntry) -> None:
         as_getm = entry.for_write or self.predictor.predicts_migratory(entry.block)
-        line = self.l2.lookup(entry.block, touch=False)
+        line = self.l2.lookup(entry.block, False)
         if entry.for_write:
             self.predictor.note_store_miss(
                 entry.block, line is not None and line.state == "S"
@@ -170,7 +170,7 @@ class DirectoryNode(ProtocolNode):
                 # The home stays blocked until the requester's unblock so
                 # a later GETM cannot invalidate data still in flight.
                 delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-                self.sim.schedule(
+                self.sim.post(
                     delay, self._home_memory_data, block, requester, 0
                 )
             else:
@@ -178,7 +178,7 @@ class DirectoryNode(ProtocolNode):
                     self.config.controller_latency_ns
                     + self.config.directory_latency_ns
                 )
-                self.sim.schedule(
+                self.sim.post(
                     delay, self._home_forward, block, requester, "FWD_GETS", 0
                 )
         else:  # GETM
@@ -193,21 +193,21 @@ class DirectoryNode(ProtocolNode):
                 self.config.controller_latency_ns + self.config.directory_latency_ns
             )
             for proc in invalidatees:
-                self.sim.schedule(
+                self.sim.post(
                     dir_delay, self._home_invalidate, block, proc, requester
                 )
             if entry.owner == MEMORY:
                 delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-                self.sim.schedule(
+                self.sim.post(
                     delay, self._home_memory_data, block, requester, ack_count
                 )
             elif entry.owner == requester:
                 # Upgrade by the current owner: it has data, needs acks.
-                self.sim.schedule(
+                self.sim.post(
                     dir_delay, self._home_ack_count, block, requester, ack_count
                 )
             else:
-                self.sim.schedule(
+                self.sim.post(
                     dir_delay,
                     self._home_forward,
                     block,
@@ -307,7 +307,7 @@ class DirectoryNode(ProtocolNode):
         entry.pending_requester = -1
         if entry.queue:
             mtype, requester, version = entry.queue.pop(0)
-            self.sim.schedule(
+            self.sim.post(
                 0.0, self._home_process_if_free, block, mtype, requester, version
             )
 
@@ -325,7 +325,7 @@ class DirectoryNode(ProtocolNode):
     # ------------------------------------------------------------------
 
     def _handle_forward(self, msg: CoherenceMessage, exclusive: bool) -> None:
-        self.sim.schedule(
+        self.sim.post(
             self.config.l2_latency_ns, self._forward_respond, msg, exclusive
         )
 
@@ -339,7 +339,7 @@ class DirectoryNode(ProtocolNode):
                 wb["superseded"] = True
             self._send_data(requester, block, version, msg.acks_expected, False)
             return
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if line is None or line.state not in ("M", "O"):
             raise ProtocolError(
                 f"forward for {block:#x} found no owner at P{self.node_id} "
@@ -378,7 +378,7 @@ class DirectoryNode(ProtocolNode):
         self.send_msg(data)
 
     def _handle_invalidation(self, msg: CoherenceMessage) -> None:
-        line = self.l2.lookup(msg.block, touch=False)
+        line = self.l2.lookup(msg.block, False)
         if line is not None and line.state == "S":
             self._drop_line(msg.block)
         entry = self.mshrs.get(msg.block)
@@ -420,7 +420,7 @@ class DirectoryNode(ProtocolNode):
         if entry is None:
             return
         entry.protocol["acks_needed"] = msg.acks_expected
-        line = self.l2.lookup(msg.block, touch=False)
+        line = self.l2.lookup(msg.block, False)
         if line is None or line.state not in ("M", "O"):
             raise ProtocolError("ACK_COUNT without an owned copy")
         entry.protocol["have_data"] = True

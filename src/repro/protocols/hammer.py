@@ -85,7 +85,7 @@ class HammerNode(ProtocolNode):
 
     def _issue_transaction(self, entry: MshrEntry) -> None:
         as_getm = entry.for_write or self.predictor.predicts_migratory(entry.block)
-        line = self.l2.lookup(entry.block, touch=False)
+        line = self.l2.lookup(entry.block, False)
         if entry.for_write:
             self.predictor.note_store_miss(
                 entry.block, line is not None and line.state == "S"
@@ -190,7 +190,7 @@ class HammerNode(ProtocolNode):
             category="probe",
             vnet="forward",
         )
-        self.sim.schedule(
+        self.sim.post(
             self.config.controller_latency_ns,
             self.broadcast_msg,
             probe,
@@ -198,7 +198,7 @@ class HammerNode(ProtocolNode):
         )
         # The memory fetch proceeds in parallel with the probes.
         delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-        self.sim.schedule(delay, self._home_memory_data, block, requester)
+        self.sim.post(delay, self._home_memory_data, block, requester)
 
     def _home_memory_data(self, block: int, requester: int) -> None:
         data = self.make_data(
@@ -220,7 +220,7 @@ class HammerNode(ProtocolNode):
         home.busy = False
         if home.queue:
             mtype, requester, version = home.queue.pop(0)
-            self.sim.schedule(
+            self.sim.post(
                 0.0, self._home_process_if_free, msg.block, mtype, requester,
                 version,
             )
@@ -241,7 +241,7 @@ class HammerNode(ProtocolNode):
     def _handle_probe(self, msg: CoherenceMessage) -> None:
         if msg.requester == self.node_id:
             return  # the requester does not probe itself
-        self.sim.schedule(self.config.l2_latency_ns, self._probe_respond, msg)
+        self.sim.post(self.config.l2_latency_ns, self._probe_respond, msg)
 
     def _probe_respond(self, msg: CoherenceMessage) -> None:
         block = msg.block
@@ -255,7 +255,7 @@ class HammerNode(ProtocolNode):
                 wb["superseded"] = True
             return
 
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if line is not None and line.state in ("M", "O"):
             if not exclusive and line.state == "M" and not line.dirty:
                 self.predictor.observe_read_shared(block)
@@ -355,7 +355,7 @@ class HammerNode(ProtocolNode):
             return
         block = entry.block
         version = proto["data_version"]
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if version is None:
             # Upgrade: no data message needed, our shared copy is valid.
             if line is None or line.state not in ("S", "O", "M"):

@@ -99,7 +99,7 @@ class SnoopingNode(ProtocolNode):
 
     def _issue_transaction(self, entry: MshrEntry) -> None:
         as_getm = entry.for_write or self.predictor.predicts_migratory(entry.block)
-        line = self.l2.lookup(entry.block, touch=False)
+        line = self.l2.lookup(entry.block, False)
         if entry.for_write:
             self.predictor.note_store_miss(
                 entry.block, line is not None and line.state == "S"
@@ -194,7 +194,7 @@ class SnoopingNode(ProtocolNode):
             self._snoop_while_ordered(msg, entry)
             return
 
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if line is None or line.state == "I":
             return
         if msg.mtype == "GETS":
@@ -213,7 +213,7 @@ class SnoopingNode(ProtocolNode):
         if entry is None or entry.protocol.get("phase") != "issued":
             return  # e.g. a re-ordered duplicate after completion
         entry.protocol["phase"] = "ordered"
-        line = self.l2.lookup(msg.block, touch=False)
+        line = self.l2.lookup(msg.block, False)
         if entry.protocol["as_getm"] and line is not None and line.state in ("S", "O"):
             # Upgrade with a still-valid copy: the order point completes
             # the store (snoops ordered later invalidate us in order;
@@ -265,7 +265,7 @@ class SnoopingNode(ProtocolNode):
             home.deferred.append((requester, tx))
             return
         delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-        self.sim.schedule(delay, self._memory_send_data, block, requester, tx)
+        self.sim.post(delay, self._memory_send_data, block, requester, tx)
 
     def _memory_send_data(self, block: int, requester: int, tx: int) -> None:
         data = self.make_data(
@@ -297,7 +297,7 @@ class SnoopingNode(ProtocolNode):
         self, requester: int, block: int, version: int, tx: int
     ) -> None:
         """Cache-to-cache data response (after the L2 access)."""
-        self.sim.schedule(
+        self.sim.post(
             self.config.l2_latency_ns,
             self._send_data_now,
             requester,
@@ -361,7 +361,7 @@ class SnoopingNode(ProtocolNode):
         if use_once:
             self._invalidate_line(block)
             return
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         for index, (mtype, requester, tx) in enumerate(pending):
             if line is None or line.state not in ("M", "O"):
                 break
@@ -376,7 +376,7 @@ class SnoopingNode(ProtocolNode):
             line.state = "O"
 
     def _invalidate_line(self, block: int) -> None:
-        line = self.l2.lookup(block, touch=False)
+        line = self.l2.lookup(block, False)
         if line is not None:
             self._drop_line(block)
 

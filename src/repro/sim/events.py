@@ -4,17 +4,21 @@ The kernel (see :mod:`repro.sim.kernel`) orders events by ``(time, seq)``
 where ``seq`` is a monotonically increasing insertion counter.  The counter
 makes the simulation fully deterministic: two events scheduled for the same
 instant always fire in the order they were scheduled.
+
+Only *cancellable* schedules materialize an :class:`Event` handle; the
+kernel's fire-and-forget fast path (:meth:`repro.sim.kernel.Simulator.post`)
+pushes a raw ``(time, seq, callback, args)`` tuple instead, so the heap
+compares plain floats and ints at C speed rather than dispatching into a
+Python ``__lt__``.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Callable
 
 
-@dataclasses.dataclass(order=True)
 class Event:
-    """A single scheduled callback.
+    """A single cancellable scheduled callback.
 
     Attributes:
         time: Absolute simulation time (ns) at which the event fires.
@@ -24,16 +28,35 @@ class Event:
         cancelled: Cancelled events stay in the heap but are skipped.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = dataclasses.field(compare=False)
-    args: tuple[Any, ...] = dataclasses.field(compare=False, default=())
-    cancelled: bool = dataclasses.field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+        sim: "Any" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark this event so the kernel skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback (kernel-internal)."""
         self.callback(*self.args)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{state})"

@@ -1,10 +1,26 @@
 """Deterministic discrete-event simulation kernel.
 
 Every timed behaviour in the simulator — link traversal, cache lookup,
-DRAM access, protocol timeout — is an :class:`~repro.sim.events.Event` on a
-single binary heap.  The kernel is intentionally minimal: components
-schedule plain callbacks, and determinism comes from the ``(time, seq)``
-ordering contract rather than from any framework machinery.
+DRAM access, protocol timeout — is an entry on a single binary heap.  The
+kernel is intentionally minimal: components schedule plain callbacks, and
+determinism comes from the ``(time, seq)`` ordering contract rather than
+from any framework machinery.
+
+Two scheduling paths share one heap and one ``seq`` counter:
+
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` — the fire-and-forget
+  fast path.  The heap holds a raw ``(time, seq, callback, args)`` tuple,
+  so ordering is a C-level float/int comparison (``seq`` is unique, so the
+  comparison never reaches the callback) and no handle object is built.
+  This is what the interconnect and protocol hot paths use.
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — the
+  cancellable path.  It returns an :class:`~repro.sim.events.Event` handle
+  (used for protocol timeout timers) carried as ``(time, seq, event)``.
+
+Cancelled events stay in the heap until popped; when the cancelled
+fraction grows large the kernel compacts the heap in place.  Compaction
+re-heapifies on the same ``(time, seq)`` keys, so pop order — and thus
+the simulation — is unchanged.
 
 Example:
     >>> sim = Simulator()
@@ -20,10 +36,16 @@ Example:
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
 from repro.sim.events import Event
+
+#: Compact the heap only once at least this many cancellations are pending
+#: (avoids churn on tiny heaps) …
+_COMPACT_MIN_CANCELLED = 64
+#: … and only when cancelled entries outnumber this fraction of the heap.
+_COMPACT_FRACTION = 0.5
 
 
 class SimulationError(RuntimeError):
@@ -41,12 +63,26 @@ class Simulator:
     * ``now`` never moves backwards.
     """
 
+    __slots__ = (
+        "_heap",
+        "_now",
+        "_seq",
+        "_events_fired",
+        "_running",
+        "_cancelled_pending",
+    )
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Heap entries are (time, seq, callback, args) tuples (fast path)
+        # or (time, seq, event, None) tuples (cancellable path, marked by
+        # the None sentinel in the args slot); seq uniqueness keeps tuple
+        # comparison from ever reaching the payload.
+        self._heap: list[tuple] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._events_fired: int = 0
         self._running = False
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -63,6 +99,34 @@ class Simulator:
         """Number of events still queued (cancelled events included)."""
         return len(self._heap)
 
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` ``delay`` ns from now; no handle.
+
+        The fast path for the simulation's hot loops: nothing is allocated
+        beyond the heap tuple, and the entry cannot be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self._now + delay, seq, callback, args))
+
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time``; no handle."""
+        now = self._now
+        delay = time - now
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        # ``now + delay`` (not ``time``) preserves the exact float the
+        # historical schedule_at -> schedule dispatch produced.
+        heappush(self._heap, (now + delay, seq, callback, args))
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> Event:
@@ -73,9 +137,10 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self._now + delay, seq, callback, args, False, self)
+        heappush(self._heap, (event.time, seq, event, None))
         return event
 
     def schedule_at(
@@ -83,6 +148,39 @@ class Simulator:
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time``."""
         return self.schedule(time - self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when worthwhile."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_pending > len(self._heap) * _COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify in place.
+
+        Safe mid-run: the heap list object is mutated in place (``run``
+        holds an alias) and heapify re-orders on the same ``(time, seq)``
+        keys, so subsequent pops are identical to the uncompacted heap's.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry
+            for entry in heap
+            if entry[3] is not None or not entry[2].cancelled
+        ]
+        heapify(heap)
+        self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Execute events until the queue drains.
@@ -95,25 +193,49 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        fired = self._events_fired
         try:
-            while self._heap:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            if until is None and max_events is None:
+                # Hot loop: no bound checks, locals only.
+                while heap:
+                    time, _seq, callback, args = heappop(heap)
+                    if args is None:
+                        event = callback
+                        if event.cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                        callback = event.callback
+                        args = event.args
+                    self._now = time
+                    fired += 1
+                    callback(*args)
+                return
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self._now = until
                     return
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self._events_fired += 1
-                if max_events is not None and self._events_fired > max_events:
+                entry = heappop(heap)
+                args = entry[3]
+                if args is not None:
+                    callback = entry[2]
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    callback, args = event.callback, event.args
+                self._now = entry[0]
+                fired += 1
+                if max_events is not None and fired > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} at t={self._now}"
                     )
-                event.fire()
+                callback(*args)
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._events_fired = fired
             self._running = False
 
     def step(self) -> bool:
@@ -121,12 +243,20 @@ class Simulator:
 
         Returns True if an event fired, False if the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            args = entry[3]
+            if args is not None:
+                callback = entry[2]
+            else:
+                event = entry[2]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                callback, args = event.callback, event.args
+            self._now = entry[0]
             self._events_fired += 1
-            event.fire()
+            callback(*args)
             return True
         return False

@@ -16,7 +16,13 @@ from collections import defaultdict
 
 
 class Counter:
-    """A bag of named integer counters."""
+    """A bag of named integer counters.
+
+    ``add`` is on the per-message hot path: it performs a single
+    defaultdict increment and allocates nothing.
+    """
+
+    __slots__ = ("_counts",)
 
     def __init__(self) -> None:
         self._counts: defaultdict[str, int] = defaultdict(int)
@@ -48,14 +54,28 @@ class TrafficMeter:
     ``"invalidation"``, ``"token"``.
     """
 
+    __slots__ = ("_bytes", "_messages")
+
     def __init__(self) -> None:
         self._bytes: defaultdict[str, int] = defaultdict(int)
         self._messages: defaultdict[str, int] = defaultdict(int)
 
     def record_crossing(self, category: str, size_bytes: int) -> None:
-        """Record one link crossing of a message of the given category."""
+        """Record one link crossing of a message of the given category.
+
+        Per-message hot path: two defaultdict increments, no allocation.
+        """
         self._bytes[category] += size_bytes
         self._messages[category] += 1
+
+    def record_crossings(self, category: str, size_bytes: int, count: int) -> None:
+        """Record ``count`` crossings of same-sized messages in one shot.
+
+        Batched-multicast accounting: equivalent to ``count`` calls to
+        :meth:`record_crossing` at the cost of one.
+        """
+        self._bytes[category] += size_bytes * count
+        self._messages[category] += count
 
     def bytes_by_category(self) -> dict[str, int]:
         return dict(self._bytes)
@@ -95,6 +115,8 @@ class LatencyTracker:
     timeout, so the tracker starts from ``initial`` (default 200 ns,
     roughly one memory round-trip in the Table 1 system).
     """
+
+    __slots__ = ("_count", "_sum", "_max", "_ewma", "_alpha")
 
     def __init__(self, initial: float = 200.0, alpha: float = 0.2) -> None:
         self._count = 0

@@ -130,3 +130,109 @@ def test_events_fired_counter():
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_fired == 5
+
+
+# ----------------------------------------------------------------------
+# Fast-path posting and cancelled-event compaction
+# ----------------------------------------------------------------------
+
+
+def test_post_interleaves_with_schedule_in_seq_order():
+    """post() and schedule() share one (time, seq) ordering domain."""
+    sim = Simulator()
+    fired = []
+    sim.post(5.0, fired.append, "p1")
+    sim.schedule(5.0, fired.append, "s1")
+    sim.post(5.0, fired.append, "p2")
+    sim.schedule(5.0, fired.append, "s2")
+    sim.run()
+    assert fired == ["p1", "s1", "p2", "s2"]
+
+
+def test_post_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: sim.post_at(25.0, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [25.0]
+
+
+def test_post_negative_delay_rejected():
+    import pytest as _pytest
+
+    sim = Simulator()
+    with _pytest.raises(SimulationError):
+        sim.post(-1.0, lambda: None)
+    with _pytest.raises(SimulationError):
+        sim.post_at(-5.0, lambda: None)
+
+
+def test_post_has_no_handle_and_step_fires_it():
+    sim = Simulator()
+    fired = []
+    assert sim.post(1.0, fired.append, "x") is None
+    assert sim.step()
+    assert fired == ["x"]
+
+
+def test_compaction_preserves_firing_order():
+    """Cancelling most of a large heap triggers in-place compaction;
+    the surviving events must still fire in exact (time, seq) order."""
+    from repro.sim import kernel as kernel_mod
+
+    sim = Simulator()
+    fired = []
+    handles = []
+    survivors = []
+    # Interleave doomed and surviving events at clashing times so any
+    # ordering disturbance from the rebuild would be visible.
+    for i in range(200):
+        time = float(100 + (i % 7))
+        if i % 3 == 0:
+            survivors.append((time, i))
+            sim.schedule(time, fired.append, (time, i))
+        else:
+            handles.append(sim.schedule(time, fired.append, ("DOOMED", i)))
+    assert sim.pending_events == 200
+    for handle in handles:
+        handle.cancel()
+    # Enough cancellations to cross the compaction thresholds: the heap
+    # must have been compacted in place (survivors plus at most the
+    # post-compaction cancellations that have not re-crossed it).
+    assert len(handles) >= kernel_mod._COMPACT_MIN_CANCELLED
+    assert len(survivors) <= sim.pending_events < 200
+    sim.run()
+    assert fired == sorted(survivors, key=lambda pair: (pair[0], pair[1]))
+
+
+def test_cancel_is_idempotent_and_tracked():
+    sim = Simulator()
+    handle = sim.schedule(5.0, lambda: None)
+    handle.cancel()
+    handle.cancel()  # double-cancel must not corrupt bookkeeping
+    assert sim._cancelled_pending == 1
+    sim.run()
+    assert sim._cancelled_pending == 0
+    assert sim.events_fired == 0
+
+
+def test_compaction_mid_run_from_callback():
+    """A callback cancelling en masse (forcing compaction while run()
+    iterates the heap) must not disturb later events."""
+    from repro.sim import kernel as kernel_mod
+
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(50.0, fired.append, "DOOMED") for _ in range(100)]
+    sim.schedule(60.0, fired.append, "tail-a")
+    sim.schedule(60.0, fired.append, "tail-b")
+
+    def cancel_all():
+        for handle in doomed:
+            handle.cancel()
+
+    sim.schedule(10.0, cancel_all)
+    sim.run()
+    assert fired == ["tail-a", "tail-b"]
+    assert sim._cancelled_pending == 0
+    assert kernel_mod._COMPACT_MIN_CANCELLED <= 100

@@ -1,0 +1,91 @@
+"""Determinism regression suite.
+
+The engine's contract is *bit-identical replay*: the same
+``SystemConfig`` + workload must always produce exactly the same
+``events_fired``, ``runtime_ns``, counters, and traffic — run-to-run,
+and across engine refactors.  The golden file was recorded from the
+reference hop-by-hop engine and cross-checked against the current one;
+any hot-path change that perturbs event ordering fails here.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import COMMERCIAL_WORKLOADS, SystemConfig, simulate
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "determinism_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _run_case(case: dict):
+    config = SystemConfig(n_procs=16, **case["config"])
+    spec = COMMERCIAL_WORKLOADS[case["workload"]].scaled(case["ops_per_proc"])
+    return simulate(config, spec)
+
+
+def _observed(result) -> dict:
+    return {
+        "events_fired": result.events_fired,
+        "runtime_ns": result.runtime_ns,
+        "total_ops": result.total_ops,
+        "total_misses": result.total_misses,
+        "counters": dict(sorted(result.counters.items())),
+        "traffic_bytes": dict(sorted(result.traffic_bytes.items())),
+        "l1_hits": result.l1_hits,
+        "l2_hits": result.l2_hits,
+    }
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN))
+def test_matches_recorded_golden(label):
+    """The engine reproduces the recorded reference outputs exactly."""
+    case = GOLDEN[label]
+    observed = _observed(_run_case(case))
+    expected = {key: case[key] for key in observed}
+    assert observed == expected
+
+
+def test_same_config_replays_identically():
+    """Two runs of one configuration are indistinguishable."""
+    case = GOLDEN["tokenb-torus"]
+    first = _run_case(case)
+    second = _run_case(case)
+    assert _observed(first) == _observed(second)
+    assert first.per_proc_finish_ns == second.per_proc_finish_ns
+    assert first.mean_miss_latency_ns == second.mean_miss_latency_ns
+
+
+def test_unlimited_bandwidth_fast_path_matches_hop_by_hop():
+    """The torus broadcast fast path (bandwidth=None posts every
+    subtree delivery up front) must deliver exactly like progressive
+    hop-by-hop fan-out: each node at ``depth * latency``."""
+    from repro.interconnect.message import Message
+    from repro.interconnect.torus import TorusInterconnect
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    torus = TorusInterconnect(sim, 16, 15.0, None)
+    log = []
+    for node in range(16):
+        torus.attach(node, lambda msg, node=node: log.append((node, sim.now)))
+    torus.broadcast(Message(src=3, dst=-1), include_self=True)
+    sim.run()
+
+    # Progressive fan-out arrives at depth(node) * latency (source at 0).
+    children = torus._spanning_tree(3)
+    depth = {3: 0}
+    frontier = [3]
+    while frontier:
+        nxt = []
+        for vertex in frontier:
+            for _direction, child in children[vertex]:
+                depth[child] = depth[vertex] + 1
+                nxt.append(child)
+        frontier = nxt
+    reference = sorted((node, depth[node] * 15.0) for node in range(16))
+    assert sorted(log) == reference
+    # One delivery per node, N-1 tree crossings accounted.
+    assert len(log) == 16
+    assert torus.traffic.crossings_by_category() == {"request": 15}
