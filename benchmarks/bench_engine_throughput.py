@@ -32,24 +32,26 @@ import sys
 import time
 from pathlib import Path
 
-from repro import COMMERCIAL_WORKLOADS, SystemConfig, simulate
+from repro import COMMERCIAL_WORKLOADS, SystemConfig, interconnect_for, simulate
+
+
+def _default(protocol, **extra):
+    """A protocol on its canonical interconnect (the shared grid)."""
+    return dict(protocol=protocol, interconnect=interconnect_for(protocol), **extra)
+
 
 #: The profiled configuration from the engine-overhaul work, first.
 STANDARD_CONFIGS = [
-    ("tokenb/torus", "apache", dict(protocol="tokenb", interconnect="torus")),
+    ("tokenb/torus", "apache", _default("tokenb")),
     (
         "tokenb/torus-unlim",
         "apache",
-        dict(
-            protocol="tokenb",
-            interconnect="torus",
-            link_bandwidth_bytes_per_ns=None,
-        ),
+        _default("tokenb", link_bandwidth_bytes_per_ns=None),
     ),
     ("tokenb/tree", "apache", dict(protocol="tokenb", interconnect="tree")),
-    ("snooping/tree", "apache", dict(protocol="snooping", interconnect="tree")),
-    ("directory/torus", "apache", dict(protocol="directory", interconnect="torus")),
-    ("hammer/torus", "oltp", dict(protocol="hammer", interconnect="torus")),
+    ("snooping/tree", "apache", _default("snooping")),
+    ("directory/torus", "apache", _default("directory")),
+    ("hammer/torus", "oltp", _default("hammer")),
 ]
 
 OPS_PER_PROC = 400

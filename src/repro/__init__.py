@@ -23,11 +23,14 @@ Public surface:
 from repro.coherence import CoherenceChecker, CoherenceViolation
 from repro.core import TokenInvariantError, TokenLedger
 from repro.system import (
+    ALL_PROTOCOLS,
     DeadlockError,
     SimulationResult,
     System,
     SystemConfig,
     build_system,
+    interconnect_for,
+    protocol_grid,
     simulate,
 )
 from repro.workloads import (
@@ -44,6 +47,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALL_PROTOCOLS",
     "APACHE",
     "COMMERCIAL_WORKLOADS",
     "CoherenceChecker",
@@ -61,6 +65,8 @@ __all__ = [
     "build_system",
     "contended_sharing_spec",
     "generate_streams",
+    "interconnect_for",
     "memory_pressure_spec",
+    "protocol_grid",
     "simulate",
 ]

@@ -414,10 +414,36 @@ class TokenNodeBase(ProtocolNode):
     # Persistent requests: node side (Section 3.2)
     # ------------------------------------------------------------------
 
+    def force_escalation(self, block: int) -> None:
+        """Escalate the outstanding miss for ``block`` right now (if any).
+
+        A timeout/reissue knob for the adversarial test harness: the
+        performance protocol's own timers normally decide when a starving
+        miss falls back to the persistent-request mechanism, but because
+        escalation is pure substrate machinery it must be safe at *any*
+        moment — even immediately after issue, or for a protocol that
+        would never have escalated on its own.  No-op if the miss has
+        already completed or already went persistent.
+        """
+        entry = self.mshrs.get(block)
+        if entry is not None:
+            self.invoke_persistent_request(entry)
+
     def invoke_persistent_request(self, entry: MshrEntry) -> None:
         """Escalate a starving miss to the persistent-request mechanism."""
         block = entry.block
-        if block in self._my_persistent:
+        mine = self._my_persistent.get(block)
+        if mine is not None:
+            if mine["satisfied"]:
+                # The previous session for this block is tearing down
+                # and no longer collects tokens, so it cannot serve this
+                # new miss: re-invoke the moment the deactivation lands.
+                # (Silently dropping the escalation here orphaned the
+                # miss forever — the reissue timer is not re-armed after
+                # escalating — a liveness bug found by the adversarial
+                # schedule explorer: tokenb/tree, arbiter contention,
+                # jitter + drops, seed 26.)
+                mine["reinvoke"] = True
             return
         entry.protocol["persistent"] = True
         self.counters.add("persistent_request")
@@ -508,7 +534,13 @@ class TokenNodeBase(ProtocolNode):
         if self._table_by_block.get(entry.block) is entry:
             del self._table_by_block[entry.block]
         if msg.requester == self.node_id:
-            self._my_persistent.pop(msg.block, None)
+            mine = self._my_persistent.pop(msg.block, None)
+            if mine is not None and mine.get("reinvoke"):
+                # An escalation arrived mid-teardown; serve it now that
+                # a fresh session can be requested.
+                new_entry = self.mshrs.get(msg.block)
+                if new_entry is not None:
+                    self.invoke_persistent_request(new_entry)
         ack = self.make_control(
             dst=arbiter,
             mtype="PDEACT_ACK",

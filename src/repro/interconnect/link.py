@@ -37,6 +37,11 @@ class Link:
         "_free_at",
         "_crossings",
         "_record",
+        # Reserved for the adversarial-testing perturbation layer
+        # (repro.testing.perturb).  Never touched by this class; it
+        # exists so a jittering subclass with ``__slots__ = ()`` can be
+        # installed on a live link by ``__class__`` reassignment.
+        "_perturb",
     )
 
     def __init__(

@@ -178,6 +178,13 @@ class HammerNode(ProtocolNode):
                 vnet="response",
             )
             self.send_msg(ack)
+            # A PUT does not occupy the home, so when one is popped off
+            # the serialization queue the drain must continue — a
+            # request queued behind it would otherwise be stranded with
+            # the home idle (liveness bug found by the adversarial
+            # schedule explorer: hammer/torus, link jitter, seed 11).
+            if not home.busy:
+                self._drain_home_queue(block)
             return
         home.busy = True
         # Broadcast the probe with only the controller latency — no
@@ -218,10 +225,15 @@ class HammerNode(ProtocolNode):
         if not home.busy:
             raise ProtocolError(f"UNBLOCK for non-busy block {msg.block:#x}")
         home.busy = False
+        self._drain_home_queue(msg.block)
+
+    def _drain_home_queue(self, block: int) -> None:
+        """Pop the next queued request (if any) for an idle home."""
+        home = self._home_state(block)
         if home.queue:
             mtype, requester, version = home.queue.pop(0)
             self.sim.post(
-                0.0, self._home_process_if_free, msg.block, mtype, requester,
+                0.0, self._home_process_if_free, block, mtype, requester,
                 version,
             )
 

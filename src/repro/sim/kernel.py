@@ -70,6 +70,12 @@ class Simulator:
         "_events_fired",
         "_running",
         "_cancelled_pending",
+        # Reserved for the adversarial-testing perturbation layer
+        # (repro.testing.perturb).  The base class never reads or writes
+        # it, so the hot path is unchanged; having the slot here lets a
+        # perturbing subclass with ``__slots__ = ()`` be installed by
+        # ``__class__`` reassignment on a live simulator.
+        "_perturb",
     )
 
     def __init__(self) -> None:

@@ -2,6 +2,15 @@
 
 from repro.system.builder import System, build_system, simulate
 from repro.config import INTERCONNECTS, PROTOCOLS, SystemConfig
+from repro.system.grid import (
+    ALL_PROTOCOLS,
+    STRICT_SAFE_PROTOCOLS,
+    TOKEN_PROTOCOLS,
+    interconnect_for,
+    interconnects_for,
+    is_token_protocol,
+    protocol_grid,
+)
 from repro.system.simulator import (
     FIGURE_TRAFFIC_GROUPS,
     DeadlockError,
@@ -9,13 +18,20 @@ from repro.system.simulator import (
 )
 
 __all__ = [
+    "ALL_PROTOCOLS",
     "DeadlockError",
     "FIGURE_TRAFFIC_GROUPS",
     "INTERCONNECTS",
     "PROTOCOLS",
+    "STRICT_SAFE_PROTOCOLS",
     "SimulationResult",
     "System",
     "SystemConfig",
+    "TOKEN_PROTOCOLS",
     "build_system",
+    "interconnect_for",
+    "interconnects_for",
+    "is_token_protocol",
+    "protocol_grid",
     "simulate",
 ]

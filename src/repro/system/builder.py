@@ -9,6 +9,7 @@ point: config + workload spec in, :class:`SimulationResult` out.
 from __future__ import annotations
 
 import gc
+from typing import Callable
 
 from repro.coherence.checker import CoherenceChecker
 from repro.coherence.controller import ProtocolNode
@@ -20,12 +21,9 @@ from repro.processor.sequencer import MemoryOp, Sequencer
 from repro.sim.kernel import Simulator
 from repro.sim.stats import Counter, TrafficMeter
 from repro.config import SystemConfig
+from repro.system.grid import STRICT_SAFE_PROTOCOLS, is_token_protocol
 from repro.system.simulator import DeadlockError, SimulationResult
 from repro.workloads.synthetic import WorkloadSpec, generate_streams
-
-#: Protocols whose checker can run in strict mode (instantaneous
-#: agreement with the authoritative version is guaranteed; Section 3.1).
-_STRICT_SAFE_PROTOCOLS = {"tokenb", "tokend", "tokenm"}
 
 
 def _node_factory(protocol: str):
@@ -56,10 +54,6 @@ def _node_factory(protocol: str):
     raise ValueError(f"unknown protocol {protocol!r}")
 
 
-def _is_token_protocol(protocol: str) -> bool:
-    return protocol in ("tokenb", "null-token", "tokend", "tokenm")
-
-
 class System:
     """A built multiprocessor, ready to run one workload."""
 
@@ -70,6 +64,7 @@ class System:
         workload_name: str = "custom",
         ops_per_transaction: int = 100,
         strict_checker: bool | None = None,
+        checker_factory: Callable[..., CoherenceChecker] | None = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -79,8 +74,10 @@ class System:
         self.traffic = TrafficMeter()
         self.counters = Counter()
         if strict_checker is None:
-            strict_checker = config.protocol in _STRICT_SAFE_PROTOCOLS
-        self.checker = CoherenceChecker(
+            strict_checker = config.protocol in STRICT_SAFE_PROTOCOLS
+        if checker_factory is None:
+            checker_factory = CoherenceChecker
+        self.checker = checker_factory(
             strict=strict_checker,
             allow_inflight_invalidation=config.protocol == "snooping",
         )
@@ -93,7 +90,7 @@ class System:
             self.traffic,
         )
         self.ledger: TokenLedger | None = None
-        if _is_token_protocol(config.protocol):
+        if is_token_protocol(config.protocol):
             self.ledger = TokenLedger(config.total_tokens)
 
         factory = _node_factory(config.protocol)
@@ -187,10 +184,16 @@ def build_system(
     workload_name: str = "custom",
     ops_per_transaction: int = 100,
     strict_checker: bool | None = None,
+    checker_factory: Callable[..., CoherenceChecker] | None = None,
 ) -> System:
     """Assemble a system around explicit per-processor op streams."""
     return System(
-        config, streams, workload_name, ops_per_transaction, strict_checker
+        config,
+        streams,
+        workload_name,
+        ops_per_transaction,
+        strict_checker,
+        checker_factory,
     )
 
 

@@ -1,0 +1,53 @@
+"""Adversarial schedule exploration for the protocol grid.
+
+The paper's central claim is that correctness (token counting plus
+persistent requests) is *decoupled* from the performance policy.  This
+package proves it mechanically:
+
+* :mod:`repro.testing.perturb` — a deterministic, seeded perturbation
+  layer that jitters the event schedule and the links, duplicates and
+  drops transient requests, and forces persistent-request escalation.
+  Installing a perturber swaps in subclasses on the live simulator and
+  links; with no perturber installed the hooks are a reserved slot the
+  hot path never reads.
+* :mod:`repro.testing.explore` — the schedule explorer: seeds ×
+  protocols × topologies × adversarial workloads, every oracle armed
+  (strict data-value checking for token protocols, token conservation,
+  liveness, writeback drainage).  ``python -m repro.testing.explore``.
+* :mod:`repro.testing.differential` — differential conformance: the
+  same workload through every protocol, comparing protocol-independent
+  observables.
+* :mod:`repro.testing.shrink` — failure minimization to a deterministic,
+  replayable repro file.
+* :mod:`repro.testing.mutants` — deliberately broken protocol variants
+  that prove each oracle actually fires.
+"""
+
+from repro.testing.perturb import Perturber, PerturbSpec
+
+__all__ = [
+    "Perturber",
+    "PerturbSpec",
+    "Scenario",
+    "ScenarioOutcome",
+    "run_scenario",
+    "scenario_grid",
+]
+
+#: Names re-exported from the explore module.  The sweep entry point
+#: itself is ``repro.testing.explore.explore`` (not re-exported here —
+#: it would shadow the submodule).
+_EXPLORE_EXPORTS = frozenset(
+    ("Scenario", "ScenarioOutcome", "run_scenario", "scenario_grid")
+)
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.testing.explore`` does not import the
+    # explore module twice (once here, once as ``__main__``).
+    if name in _EXPLORE_EXPORTS:
+        import importlib
+
+        module = importlib.import_module("repro.testing.explore")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,189 @@
+"""Differential conformance: one workload, every protocol, same answers.
+
+The five protocols make wildly different timing decisions, so most
+per-run quantities (latencies, message counts, even the order in which
+racing stores land) legitimately differ.  What must *not* differ is
+anything determined by the input streams alone:
+
+* **Final memory image** — the authoritative version of every touched
+  block.  Store counts are stream-determined, so after all operations
+  complete every protocol must leave every block at the same version.
+* **Operation accounting** — per-processor, per-block load and store
+  counts as observed at completion.
+* **Private-block store trajectories** — for blocks only one processor
+  ever touches there are no races, so the exact sequence of versions its
+  stores produce (1, 2, …, k) is protocol-independent and is compared
+  op-for-op.  (Shared-block observation sequences are timing-dependent
+  — two legal protocols may order racing stores differently — so those
+  are validated by the live checker's ordering rules instead.)
+
+:class:`RecordingChecker` is the standard safety oracle plus an
+observation log; it is injected through the builder's
+``checker_factory`` hook so the recorded runs use the exact production
+checker logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.coherence.checker import CoherenceChecker
+from repro.config import SystemConfig
+from repro.system.builder import build_system
+from repro.system.grid import ALL_PROTOCOLS, interconnect_for
+from repro.testing.explore import BASE_GEOMETRY
+from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+
+
+class RecordingChecker(CoherenceChecker):
+    """The safety oracle, additionally logging every checked operation."""
+
+    def __init__(self, strict=False, allow_inflight_invalidation=False):
+        super().__init__(strict, allow_inflight_invalidation)
+        #: (proc, block) -> [observed version per completed load].
+        self.load_log: dict[tuple[int, int], list[int]] = {}
+        #: (proc, block) -> [version produced per completed store].
+        self.store_log: dict[tuple[int, int], list[int]] = {}
+
+    def record_store(self, block, proc, now, based_on_version):
+        version = super().record_store(block, proc, now, based_on_version)
+        self.store_log.setdefault((proc, block), []).append(version)
+        return version
+
+    def check_load(self, block, proc, observed_version, issue_version, now):
+        super().check_load(block, proc, observed_version, issue_version, now)
+        self.load_log.setdefault((proc, block), []).append(observed_version)
+
+
+@dataclasses.dataclass
+class Observation:
+    """Protocol-independent digest of one recorded run."""
+
+    protocol: str
+    interconnect: str
+    final_versions: dict[int, int]
+    op_counts: dict[tuple[int, int], tuple[int, int]]
+    private_store_sequences: dict[tuple[int, int], tuple[int, ...]]
+
+
+def _touched_blocks(streams, block_bytes: int) -> dict[int, set[int]]:
+    """block -> set of processors whose streams touch it."""
+    touched: dict[int, set[int]] = {}
+    for proc, ops in streams.items():
+        for op in ops:
+            touched.setdefault(op.address // block_bytes, set()).add(proc)
+    return touched
+
+
+def observe(
+    protocol: str,
+    interconnect: str,
+    streams,
+    config: SystemConfig,
+    max_events: int = 20_000_000,
+) -> Observation:
+    """Run ``streams`` under ``protocol`` and digest the observations."""
+    system = build_system(
+        config, streams, checker_factory=RecordingChecker
+    )
+    system.run(max_events=max_events)
+    checker: RecordingChecker = system.checker
+    touched = _touched_blocks(streams, config.block_bytes)
+    final_versions = {
+        block: checker.current_version(block) for block in sorted(touched)
+    }
+    op_counts = {}
+    for key in set(checker.load_log) | set(checker.store_log):
+        op_counts[key] = (
+            len(checker.load_log.get(key, ())),
+            len(checker.store_log.get(key, ())),
+        )
+    private = {
+        block for block, procs in touched.items() if len(procs) == 1
+    }
+    private_store_sequences = {
+        key: tuple(versions)
+        for key, versions in checker.store_log.items()
+        if key[1] in private
+    }
+    return Observation(
+        protocol=protocol,
+        interconnect=interconnect,
+        final_versions=final_versions,
+        op_counts=op_counts,
+        private_store_sequences=private_store_sequences,
+    )
+
+
+def compare(reference: Observation, candidate: Observation) -> list[str]:
+    """Mismatch descriptions between two observations (empty = conform)."""
+    mismatches = []
+    if candidate.final_versions != reference.final_versions:
+        diffs = [
+            f"block {block:#x}: "
+            f"{reference.final_versions.get(block)} vs "
+            f"{candidate.final_versions.get(block)}"
+            for block in sorted(
+                set(reference.final_versions) | set(candidate.final_versions)
+            )
+            if reference.final_versions.get(block)
+            != candidate.final_versions.get(block)
+        ]
+        mismatches.append(
+            f"final memory image differs ({'; '.join(diffs[:5])})"
+        )
+    if candidate.op_counts != reference.op_counts:
+        mismatches.append("per-processor operation accounting differs")
+    if candidate.private_store_sequences != reference.private_store_sequences:
+        mismatches.append("private-block store version sequences differ")
+    return mismatches
+
+
+def run_differential(
+    workload: str,
+    seed: int,
+    n_procs: int = 4,
+    ops_per_proc: int = 40,
+    protocols=ALL_PROTOCOLS,
+    config_overrides: dict | None = None,
+) -> dict:
+    """Run one adversarial workload through every protocol and compare.
+
+    Each protocol runs on its canonical interconnect.  Returns a report
+    dict with ``agreed`` plus per-protocol mismatch lists keyed by
+    ``protocol/interconnect``.
+    """
+    generator = ADVERSARIAL_WORKLOADS[workload]
+    observations: list[Observation] = []
+    overrides = dict(config_overrides or {})
+    for protocol in protocols:
+        interconnect = interconnect_for(protocol)
+        params = dict(
+            protocol=protocol,
+            interconnect=interconnect,
+            n_procs=n_procs,
+            seed=seed,
+            **BASE_GEOMETRY,
+        )
+        params.update(overrides)
+        config = SystemConfig(**params)
+        streams = generator(
+            seed, n_procs, ops_per_proc, block_bytes=config.block_bytes
+        )
+        observations.append(observe(protocol, interconnect, streams, config))
+    reference = observations[0]
+    mismatches = {
+        f"{obs.protocol}/{obs.interconnect}": compare(reference, obs)
+        for obs in observations[1:]
+    }
+    return {
+        "workload": workload,
+        "seed": seed,
+        "reference": f"{reference.protocol}/{reference.interconnect}",
+        "final_versions": {
+            hex(block): version
+            for block, version in reference.final_versions.items()
+        },
+        "mismatches": mismatches,
+        "agreed": all(not diffs for diffs in mismatches.values()),
+    }

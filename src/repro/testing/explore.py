@@ -1,0 +1,427 @@
+"""The adversarial schedule explorer.
+
+One :class:`Scenario` is one fully-determined simulation: a protocol on
+an interconnect, an adversarial workload, a perturbation spec, optional
+config overrides (e.g. aggressive timeout knobs), and optionally a named
+mutant from :mod:`repro.testing.mutants`.  :func:`run_scenario` executes
+it with **every oracle armed**:
+
+* the data-value checker (``strict=True`` wherever the builder allows —
+  all token protocols);
+* token conservation (ledger audit over every touched block);
+* liveness (every operation completes; the run neither deadlocks nor
+  exhausts its event budget);
+* drainage (writeback buffers, MSHRs, persistent-request tables and
+  arbiters all empty at the end).
+
+:func:`scenario_grid` sweeps seeds × the canonical protocol/topology
+grid × the adversarial workloads, with each protocol perturbed as hard
+as its legality bounds allow (token protocols get the full adversarial
+treatment; baselines get FIFO-preserving link jitter).  The module is
+executable::
+
+    python -m repro.testing.explore                 # full sweep (>=200)
+    python -m repro.testing.explore --smoke         # CI-sized sweep
+    python -m repro.testing.explore --repro FILE    # replay a shrunk repro
+
+On a violation the explorer shrinks the scenario and writes a
+deterministic repro file (see :mod:`repro.testing.shrink`), then exits
+nonzero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from repro.config import SystemConfig
+from repro.system.builder import build_system
+from repro.system.grid import ALL_PROTOCOLS, is_token_protocol, protocol_grid
+from repro.testing.mutants import MUTANTS
+from repro.testing.perturb import Perturber, PerturbSpec
+from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+
+
+class OracleError(AssertionError):
+    """A post-run oracle failed (liveness accounting or drainage)."""
+
+
+#: Default small-system geometry: tiny caches maximize evictions, races,
+#: and writeback windows (mirrors the stress suite).  Shared with the
+#: differential conformance harness so both run the same machine.
+BASE_GEOMETRY = dict(
+    l2_bytes=16 * 64,
+    l2_assoc=4,
+    l1_bytes=8 * 64,
+)
+
+
+@dataclasses.dataclass
+class Scenario:
+    """One deterministic adversarial simulation."""
+
+    seed: int
+    protocol: str
+    interconnect: str
+    workload: str
+    n_procs: int = 4
+    ops_per_proc: int = 40
+    perturb: PerturbSpec = dataclasses.field(default_factory=PerturbSpec)
+    config_overrides: dict = dataclasses.field(default_factory=dict)
+    mutant: str | None = None
+    max_events: int = 20_000_000
+
+    def label(self) -> str:
+        parts = [
+            f"seed={self.seed}",
+            f"{self.protocol}/{self.interconnect}",
+            self.workload,
+            f"{self.n_procs}p x {self.ops_per_proc}ops",
+        ]
+        active = self.perturb.active_fields()
+        if active:
+            parts.append("perturb[" + ",".join(active) + "]")
+        if self.mutant:
+            parts.append(f"mutant={self.mutant}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["perturb"] = self.perturb.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        payload = dict(payload)
+        payload["perturb"] = PerturbSpec.from_dict(payload.get("perturb", {}))
+        return cls(**payload)
+
+
+@dataclasses.dataclass
+class ScenarioOutcome:
+    """What one scenario run produced."""
+
+    ok: bool
+    violation_type: str | None = None
+    violation_message: str | None = None
+    total_ops: int = 0
+    events_fired: int = 0
+    persistent_requests: int = 0
+    reissued_requests: int = 0
+    perturb_stats: dict = dataclasses.field(default_factory=dict)
+
+
+def _build_config(scenario: Scenario) -> SystemConfig:
+    params = dict(
+        protocol=scenario.protocol,
+        interconnect=scenario.interconnect,
+        n_procs=scenario.n_procs,
+        seed=scenario.seed,
+        **BASE_GEOMETRY,
+    )
+    params.update(scenario.config_overrides)
+    return SystemConfig(**params)
+
+
+def _generate_streams(scenario: Scenario, config: SystemConfig):
+    generator = ADVERSARIAL_WORKLOADS[scenario.workload]
+    kwargs = {}
+    if scenario.workload == "eviction_storm":
+        # Aim the storm at the system's actual set count.
+        kwargs["n_sets"] = config.l2_bytes // (
+            config.block_bytes * config.l2_assoc
+        )
+    return generator(
+        scenario.seed,
+        scenario.n_procs,
+        scenario.ops_per_proc,
+        block_bytes=config.block_bytes,
+        **kwargs,
+    )
+
+
+def _post_run_oracles(system, result, expected_ops: int) -> None:
+    """Everything that must hold once the event queue has drained."""
+    if result.total_ops != expected_ops:
+        raise OracleError(
+            f"liveness: {result.total_ops} of {expected_ops} ops completed"
+        )
+    for node in system.nodes:
+        if node.writeback_buffer:
+            raise OracleError(
+                f"drainage: P{node.node_id} writeback buffer still holds "
+                f"{sorted(node.writeback_buffer)}"
+            )
+        if len(node.mshrs) != 0:
+            raise OracleError(
+                f"drainage: P{node.node_id} finished with live MSHRs"
+            )
+    if system.ledger is not None:
+        system.ledger.audit_all_touched()
+        for node in system.nodes:
+            if node._table_by_arbiter or node._table_by_block:
+                raise OracleError(
+                    f"drainage: P{node.node_id} persistent table not empty"
+                )
+            if node._my_persistent:
+                raise OracleError(
+                    f"drainage: P{node.node_id} has unresolved persistent "
+                    "requests"
+                )
+            arbiter = node.arbiter
+            if arbiter.state != "idle" or arbiter.queue or arbiter.current:
+                raise OracleError(
+                    f"drainage: arbiter at P{node.node_id} stuck in "
+                    f"{arbiter.state!r}"
+                )
+
+
+def run_scenario(scenario: Scenario) -> ScenarioOutcome:
+    """Execute one scenario with every oracle armed."""
+    if scenario.workload not in ADVERSARIAL_WORKLOADS:
+        raise ValueError(f"unknown workload {scenario.workload!r}")
+    config = _build_config(scenario)
+    streams = _generate_streams(scenario, config)
+    expected_ops = sum(len(ops) for ops in streams.values())
+    system = build_system(config, streams, workload_name=scenario.workload)
+    if scenario.mutant is not None:
+        MUTANTS[scenario.mutant].install(system)
+    perturber = Perturber(scenario.perturb)
+    if scenario.perturb.any_active():
+        perturber.install(system)
+    try:
+        result = system.run(max_events=scenario.max_events)
+        _post_run_oracles(system, result, expected_ops)
+    except (AssertionError, RuntimeError) as exc:
+        return ScenarioOutcome(
+            ok=False,
+            violation_type=type(exc).__name__,
+            violation_message=str(exc),
+            events_fired=system.sim.events_fired,
+            persistent_requests=system.counters.get("persistent_request"),
+            reissued_requests=system.counters.get("reissued_request"),
+            perturb_stats=dict(perturber.stats),
+        )
+    return ScenarioOutcome(
+        ok=True,
+        total_ops=result.total_ops,
+        events_fired=result.events_fired,
+        persistent_requests=result.counters.get("persistent_request", 0),
+        reissued_requests=result.counters.get("reissued_request", 0),
+        perturb_stats=dict(perturber.stats),
+    )
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+
+#: Full adversarial treatment for token protocols: jitter everything,
+#: lose and repeat a tenth of all transient requests, and force a
+#: twentieth of all misses straight onto the persistent path.
+_TOKEN_PERTURB = dict(
+    kernel_jitter_ns=12.0,
+    link_jitter_ns=6.0,
+    reorder_jitter_ns=10.0,
+    drop_request_prob=0.10,
+    dup_request_prob=0.10,
+    force_escalation_prob=0.05,
+)
+
+#: Baselines assume ordered lossless delivery; FIFO-preserving link
+#: congestion jitter is the legal subset.
+_BASELINE_PERTURB = dict(link_jitter_ns=6.0)
+
+#: Tight timeout knobs for TokenB so the sweep constantly exercises the
+#: reissue and persistent paths, not just the happy broadcast path.
+_AGGRESSIVE_TIMEOUTS = dict(
+    backoff_initial_ns=10.0,
+    backoff_max_ns=80.0,
+    reissue_timeout_multiplier=0.5,
+    persistent_timeout_multiplier=3.0,
+    reissue_limit=2,
+)
+
+
+def make_scenario(
+    seed: int, protocol: str, interconnect: str, workload: str
+) -> Scenario:
+    """The standard adversarial scenario for one grid point."""
+    token = is_token_protocol(protocol)
+    perturb_fields = dict(_TOKEN_PERTURB if token else _BASELINE_PERTURB)
+    overrides: dict = {}
+    if protocol == "tokenb" and workload != "writeback_churn":
+        # Tight timeouts put every miss one slow response away from the
+        # reissue/persistent path.  Not on writeback_churn: its misses
+        # are uncontended capacity misses, and declaring most of them
+        # "starving" pins so many lines under persistent requests that a
+        # set can run out of evictable ways — the capacity-envelope
+        # misconfiguration the simulator rejects by design (the explorer
+        # found exactly this before the exclusion).
+        overrides.update(_AGGRESSIVE_TIMEOUTS)
+    if workload in ("eviction_storm", "writeback_churn"):
+        # 8-way keeps the storm legal: enough ways that pinned lines and
+        # in-flight MSHRs cannot exhaust a set (that exhaustion is a
+        # declared misconfiguration, not a protocol bug).
+        overrides["l2_assoc"] = 8
+    ops = 16 if protocol == "null-token" else 40
+    return Scenario(
+        seed=seed,
+        protocol=protocol,
+        interconnect=interconnect,
+        workload=workload,
+        n_procs=4,
+        ops_per_proc=ops,
+        perturb=PerturbSpec(seed=seed, **perturb_fields),
+        config_overrides=overrides,
+    )
+
+
+def scenario_grid(
+    seeds,
+    protocols=ALL_PROTOCOLS,
+    workloads=tuple(ADVERSARIAL_WORKLOADS),
+) -> list[Scenario]:
+    """Seeds × canonical protocol/topology grid × adversarial workloads."""
+    return [
+        make_scenario(seed, protocol, interconnect, workload)
+        for seed in seeds
+        for protocol, interconnect in protocol_grid(protocols)
+        for workload in workloads
+    ]
+
+
+def explore(scenarios, progress=None) -> dict:
+    """Run ``scenarios``; return a report dict (violations listed)."""
+    started = time.perf_counter()
+    violations = []
+    by_protocol: dict[str, int] = {}
+    totals = {"persistent_requests": 0, "reissued_requests": 0,
+              "dropped_requests": 0, "duplicated_requests": 0,
+              "forced_escalations": 0, "events_fired": 0}
+    for index, scenario in enumerate(scenarios):
+        outcome = run_scenario(scenario)
+        key = f"{scenario.protocol}/{scenario.interconnect}"
+        by_protocol[key] = by_protocol.get(key, 0) + 1
+        totals["persistent_requests"] += outcome.persistent_requests
+        totals["reissued_requests"] += outcome.reissued_requests
+        totals["events_fired"] += outcome.events_fired
+        for stat, value in outcome.perturb_stats.items():
+            totals[stat] += value
+        if not outcome.ok:
+            violations.append(
+                {
+                    "scenario": scenario.to_dict(),
+                    "violation_type": outcome.violation_type,
+                    "violation_message": outcome.violation_message,
+                }
+            )
+        if progress is not None:
+            progress(index, scenario, outcome)
+    return {
+        "scenarios": len(scenarios),
+        "violations": violations,
+        "violation_count": len(violations),
+        "by_protocol": by_protocol,
+        "totals": totals,
+        "elapsed_s": round(time.perf_counter() - started, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.explore",
+        description="Adversarial schedule explorer over the protocol grid.",
+    )
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="number of seeds to sweep (default 8)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed value (default 0)")
+    parser.add_argument("--protocols", default=",".join(ALL_PROTOCOLS),
+                        help="comma-separated protocol subset")
+    parser.add_argument("--workloads",
+                        default=",".join(ADVERSARIAL_WORKLOADS),
+                        help="comma-separated adversarial workload subset")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized sweep (2 seeds, shorter streams)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--repro-out", default="repro_failure.json",
+                        help="where to write the shrunk repro on violation")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking on violation")
+    parser.add_argument("--repro", default=None, metavar="FILE",
+                        help="replay a repro file instead of sweeping")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    if args.repro is not None:
+        from repro.testing.shrink import replay
+
+        reproduced, scenario, outcome = replay(args.repro)
+        print(f"repro: {scenario.label()}")
+        print(f"  expected -> observed: {outcome.violation_type} "
+              f"({outcome.violation_message})")
+        print("REPRODUCED" if reproduced else "DID NOT REPRODUCE")
+        return 0 if reproduced else 1
+
+    seeds = range(args.seed_base, args.seed_base + (2 if args.smoke else args.seeds))
+    protocols = tuple(p for p in args.protocols.split(",") if p)
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    scenarios = scenario_grid(seeds, protocols, workloads)
+    if args.smoke:
+        scenarios = [
+            dataclasses.replace(s, ops_per_proc=max(8, s.ops_per_proc // 2))
+            for s in scenarios
+        ]
+
+    def progress(index, scenario, outcome):
+        if args.quiet:
+            return
+        status = "ok" if outcome.ok else f"VIOLATION({outcome.violation_type})"
+        print(f"[{index + 1:>4}/{len(scenarios)}] {scenario.label()}: {status}",
+              flush=True)
+
+    report = explore(scenarios, progress=progress)
+    print(
+        f"\n{report['scenarios']} scenarios, "
+        f"{report['violation_count']} violations, "
+        f"{report['elapsed_s']}s "
+        f"({report['totals']['events_fired']:,} events; "
+        f"{report['totals']['persistent_requests']} persistent, "
+        f"{report['totals']['dropped_requests']} dropped, "
+        f"{report['totals']['duplicated_requests']} duplicated requests)"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report -> {args.out}")
+
+    if report["violation_count"]:
+        first = report["violations"][0]
+        scenario = Scenario.from_dict(first["scenario"])
+        print(f"\nfirst violation: {scenario.label()}\n"
+              f"  {first['violation_type']}: {first['violation_message']}")
+        if not args.no_shrink:
+            from repro.testing.shrink import shrink, write_repro
+
+            shrunk, outcome = shrink(scenario)
+            write_repro(args.repro_out, shrunk, outcome)
+            print(f"shrunk to: {shrunk.label()}\nrepro -> {args.repro_out}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

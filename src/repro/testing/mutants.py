@@ -1,0 +1,149 @@
+"""Deliberately broken protocol variants: the oracle self-test.
+
+A safety net that has never caught anything might just be a net with a
+hole in it.  Each mutant here injects one specific coherence bug into a
+built system, chosen so that exactly one oracle family is responsible
+for catching it:
+
+======================  ==============================================
+Mutant                  Oracle that must fire
+======================  ==============================================
+skip-token-collection   Data-value checker (lost update / strict): a
+                        node writes with only one token (Invariant #2'
+                        dropped), so concurrent writers race.
+stale-probe             Data-value checker (strict mode): one node's
+                        probe under-reports versions by one, returning
+                        provably stale data on every read hit.
+token-duplication       Token conservation (Invariant #1'): evictions
+                        send one more token than the line holds.
+no-escalation           Liveness: misses neither issue transient
+                        requests nor escalate, so the event queue
+                        drains with operations outstanding.
+writeback-leak          Writeback drainage: PUT_ACKs are ignored, so
+                        the eviction window never closes.
+==========================================================================
+
+Mutants are installed by patching *instance* methods on a built system
+— the shipped protocol classes stay byte-identical — and are addressed
+by name so a repro file can reference them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+
+@dataclasses.dataclass(frozen=True)
+class Mutant:
+    """One named bug injection."""
+
+    name: str
+    #: The protocol the self-test runs it on (the bug itself may apply
+    #: more broadly).
+    protocol: str
+    #: Violation type names (``type(exc).__name__``) the oracles may
+    #: legally report for this bug.
+    expected: tuple[str, ...]
+    install: Callable[[object], None]
+    #: The adversarial workload that reliably provokes the bug (e.g.
+    #: only ``writeback_churn`` keeps eviction windows open long enough
+    #: for ``writeback-leak`` to accumulate).
+    workload: str = "false_sharing"
+    description: str = ""
+
+
+def _install_skip_token_collection(system) -> None:
+    """Write permission with a single token instead of all T."""
+    for node in system.nodes:
+        node._line_can_write = (
+            lambda line: line.tokens >= 1 and line.valid_data
+        )
+
+
+def _install_stale_probe(system) -> None:
+    """Node 1's reads observe one version behind what it holds."""
+    node = system.nodes[1]
+
+    def probe(block, for_write, _orig=node.probe):
+        version = _orig(block, for_write)
+        if version is not None and not for_write and version > 0:
+            return version - 1
+        return version
+
+    node.probe = probe
+
+
+def _install_token_duplication(system) -> None:
+    """Node 1 mints one extra token whenever it releases a line."""
+    node = system.nodes[1]
+    total = node.total_tokens
+
+    def release(line, dst, category, _node=node, _total=total):
+        block = line.block
+        if line.tokens > 0:
+            version = line.version if line.owner_token else None
+            extra = 1 if line.tokens < _total else 0
+            _node.send_tokens(
+                dst, block, line.tokens + extra, line.owner_token,
+                version, category,
+            )
+        _node._drop_line(block)
+
+    node.release_line_tokens = release
+
+
+def _install_no_escalation(system) -> None:
+    """Misses do nothing at all: no requests, no persistent fallback."""
+    for node in system.nodes:
+        node._issue_transaction = lambda entry: None
+
+
+def _install_writeback_leak(system) -> None:
+    """PUT_ACKs are swallowed; writeback windows never close."""
+    for node in system.nodes:
+        node._handle_put_ack = lambda msg: None
+
+
+MUTANTS: dict[str, Mutant] = {
+    mutant.name: mutant
+    for mutant in (
+        Mutant(
+            name="skip-token-collection",
+            protocol="tokenb",
+            expected=("CoherenceViolation",),
+            install=_install_skip_token_collection,
+            description="writes proceed with one token instead of all T",
+        ),
+        Mutant(
+            name="stale-probe",
+            protocol="tokenb",
+            expected=("CoherenceViolation",),
+            install=_install_stale_probe,
+            description="node 1 serves reads one version stale",
+        ),
+        Mutant(
+            name="token-duplication",
+            protocol="tokenb",
+            expected=("TokenInvariantError",),
+            install=_install_token_duplication,
+            workload="eviction_storm",
+            description="node 1 sends tokens it does not hold",
+        ),
+        Mutant(
+            name="no-escalation",
+            protocol="null-token",
+            expected=("DeadlockError",),
+            install=_install_no_escalation,
+            description="misses never issue or escalate anything",
+        ),
+        Mutant(
+            name="writeback-leak",
+            protocol="directory",
+            expected=("OracleError",),
+            install=_install_writeback_leak,
+            workload="writeback_churn",
+            description="PUT_ACKs ignored; writeback buffer leaks",
+        ),
+    )
+}

@@ -1,0 +1,356 @@
+"""Deterministic seeded perturbation of a built system.
+
+A :class:`Perturber` adversarially distorts *performance-layer* behaviour
+— event timing, link timing, transient-request delivery, escalation
+timing — while leaving the correctness substrate untouched, so the
+safety/liveness oracles must keep holding (Section 4.1: performance
+protocols have no obligations).
+
+Install mechanics
+-----------------
+``Simulator`` and ``Link`` are ``__slots__`` classes on the simulation
+hot path, so the perturbation hooks must cost nothing when absent.  Both
+classes reserve one ``_perturb`` slot that the base implementation never
+reads; :meth:`Perturber.install` fills the slot and reassigns the
+instance's ``__class__`` to a subclass (with ``__slots__ = ()``, so the
+layouts are identical) whose overridden methods consult it.  A jittered
+torus additionally becomes a :class:`JitteredTorus` so its batched
+multicast (which inlines ``Link.occupy`` for speed) is routed back
+through the per-hop ``occupy`` path the jitter hooks.  An uninstalled
+system therefore runs byte-for-byte the same code as before this module
+existed.
+
+Every random draw comes from ``derive_rng`` streams scoped under the
+spec's seed and consumed in event order, so a perturbed simulation is
+exactly as deterministic as an unperturbed one: same scenario, same
+schedule, same result — which is what makes shrunk failures replayable.
+
+Legality bounds
+---------------
+Token-protocol correctness must survive *any* timing, loss, or
+duplication of transient requests, so every perturbation is legal there.
+The baseline protocols make real ordering assumptions, so only the
+FIFO-preserving ``link_jitter_ns`` (which models congestion without
+breaking per-link ordering; the tree's root sequencing and reorder stage
+keep snooping's total order intact) is legal for them.
+:meth:`PerturbSpec.token_only_fields` lists the rest; installing them on
+a non-token system raises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from heapq import heappush
+
+from repro.interconnect.link import Link
+from repro.interconnect.torus import TorusInterconnect
+from repro.interconnect.tree import OrderedTreeInterconnect
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.rng import derive_rng
+from repro.system.grid import is_token_protocol
+
+#: Transient performance-protocol requests: the only message types the
+#: drop/duplicate perturbations may touch (losing or repeating them is
+#: explicitly covered by the paper's reissue + persistent machinery).
+_TRANSIENT_MTYPES = ("GETS", "GETM")
+
+
+@dataclasses.dataclass
+class PerturbSpec:
+    """What to perturb, and how hard.  All fields default to "off".
+
+    Attributes:
+        seed: Root seed for every perturbation RNG stream.
+        kernel_jitter_ns: Add ``uniform(0, x)`` ns to every event posted
+            on the kernel's fast path — a global adversarial scheduler.
+            Token protocols only.
+        link_jitter_ns: Add ``uniform(0, x)`` ns of extra serialization
+            per link crossing.  Per-link FIFO order is preserved, so this
+            is legal for every protocol.
+        reorder_jitter_ns: Add ``uniform(0, x)`` ns to the propagation
+            leg of a crossing — messages may overtake each other on the
+            same link.  Token protocols only.
+        drop_request_prob: Probability a delivered GETS/GETM copy is
+            silently discarded.  Token protocols only.
+        dup_request_prob: Probability a delivered GETS/GETM copy is
+            re-delivered ``dup_delay_ns`` later.  Token protocols only.
+        dup_delay_ns: Redelivery delay for duplicated requests.
+        force_escalation_prob: Probability a miss is escalated to a
+            persistent request ``force_escalation_delay_ns`` after issue,
+            regardless of the protocol's own timeout policy.  Token
+            protocols only.
+        force_escalation_delay_ns: Delay before the forced escalation.
+    """
+
+    seed: int = 0
+    kernel_jitter_ns: float = 0.0
+    link_jitter_ns: float = 0.0
+    reorder_jitter_ns: float = 0.0
+    drop_request_prob: float = 0.0
+    dup_request_prob: float = 0.0
+    dup_delay_ns: float = 40.0
+    force_escalation_prob: float = 0.0
+    force_escalation_delay_ns: float = 30.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "kernel_jitter_ns",
+            "link_jitter_ns",
+            "reorder_jitter_ns",
+            "dup_delay_ns",
+            "force_escalation_delay_ns",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be nonnegative")
+        for field in (
+            "drop_request_prob",
+            "dup_request_prob",
+            "force_escalation_prob",
+        ):
+            if not 0.0 <= getattr(self, field) <= 1.0:
+                raise ValueError(f"{field} must be a probability")
+
+    def active_fields(self) -> list[str]:
+        """Names of the perturbations that are switched on."""
+        fields = [
+            "kernel_jitter_ns",
+            "link_jitter_ns",
+            "reorder_jitter_ns",
+            "drop_request_prob",
+            "dup_request_prob",
+            "force_escalation_prob",
+        ]
+        return [name for name in fields if getattr(self, name) > 0]
+
+    def token_only_fields(self) -> list[str]:
+        """The active perturbations that are only legal on token protocols."""
+        return [f for f in self.active_fields() if f != "link_jitter_ns"]
+
+    def any_active(self) -> bool:
+        return bool(self.active_fields())
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerturbSpec":
+        return cls(**payload)
+
+
+class PerturbedSimulator(Simulator):
+    """Kernel with seeded event-time jitter on the fast-path posts.
+
+    ``_perturb`` holds ``(rng.random, jitter_ns)``.  Timer events going
+    through :meth:`Simulator.schedule` are left alone — their firing
+    times are already policy, and jittering the work they race against
+    perturbs the race just as thoroughly.
+    """
+
+    __slots__ = ()
+
+    def post(self, delay, callback, *args):
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        random, jitter = self._perturb
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(
+            self._heap,
+            (self._now + delay + random() * jitter, seq, callback, args),
+        )
+
+    def post_at(self, time, callback, *args):
+        now = self._now
+        delay = time - now
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        random, jitter = self._perturb
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(
+            self._heap,
+            (now + delay + random() * jitter, seq, callback, args),
+        )
+
+
+class JitteredLink(Link):
+    """Link whose crossings take a seeded-random extra while.
+
+    ``_perturb`` holds ``(rng.random, fifo_jitter_ns, reorder_jitter_ns)``.
+    FIFO jitter widens the serialization slot (and therefore pushes
+    ``_free_at``), so send order still equals arrival order; reorder
+    jitter stretches only the propagation leg, so two messages on the
+    same link may arrive out of send order.
+    """
+
+    __slots__ = ()
+
+    def occupy(self, size_bytes, category):
+        random, fifo_jitter, reorder_jitter = self._perturb
+        sim = self.sim
+        now = sim._now
+        free = self._free_at
+        start = now if now >= free else free
+        if self.bandwidth is not None:
+            serialization = size_bytes / self.bandwidth
+        else:
+            serialization = 0.0
+        busy_until = start + serialization + random() * fifo_jitter
+        self._free_at = busy_until
+        self._crossings += 1
+        record = self._record
+        if record is not None:
+            record(category, size_bytes)
+        return busy_until + self.latency + random() * reorder_jitter
+
+
+class JitteredTorus(TorusInterconnect):
+    """Torus whose multicast fan-out goes through ``Link.occupy``.
+
+    The production torus batches broadcast fan-out by inlining
+    ``Link.occupy``'s float ops (and, under unlimited bandwidth,
+    precomputing whole-subtree arrivals), so an installed
+    :class:`JitteredLink` would silently never see broadcast hops —
+    exactly the transient requests, probes, and persistent broadcasts
+    the perturbation targets.  This subclass restores the reference
+    per-hop ``occupy`` + ``post_at`` semantics for multicast (traffic is
+    then recorded per crossing by ``occupy`` itself, matching unicast),
+    at batched-fan-out's cost — fine for the testing harness, never on
+    the unperturbed hot path.
+    """
+
+    def _fanout_multicast(self, msg, at_node, plan):
+        post_at = self.sim.post_at
+        arrive = self._multicast_arrive
+        size = msg.size_bytes
+        category = msg.category
+        for link, child in plan[at_node]:
+            post_at(link.occupy(size, category), arrive, msg, child, plan)
+
+    def _broadcast_unlimited(self, msg):
+        # Precomputed subtree arrivals assume un-jittered links; fall
+        # back to hop-by-hop fan-out (occupy handles bandwidth=None).
+        self._fanout_multicast(msg, msg.src, self._multicast_plans(msg.src))
+
+
+def iter_links(network):
+    """Every directed link of a built interconnect."""
+    if isinstance(network, TorusInterconnect):
+        return list(network._links.values())
+    if isinstance(network, OrderedTreeInterconnect):
+        return [
+            *network._up,
+            *network._in_root,
+            *network._root_out,
+            *network._down,
+        ]
+    raise TypeError(f"unknown interconnect type {type(network).__name__}")
+
+
+class Perturber:
+    """Installs a :class:`PerturbSpec` onto a built (not yet run) system."""
+
+    def __init__(self, spec: PerturbSpec) -> None:
+        self.spec = spec
+        self.installed = False
+        #: Counters for what the perturber actually did (for reports).
+        self.stats = {"dropped_requests": 0, "duplicated_requests": 0,
+                      "forced_escalations": 0}
+
+    def install(self, system) -> None:
+        """Wire the perturbations into ``system``; call once, before run."""
+        if self.installed:
+            raise RuntimeError("perturber already installed")
+        spec = self.spec
+        token = is_token_protocol(system.config.protocol)
+        illegal = spec.token_only_fields()
+        if illegal and not token:
+            raise ValueError(
+                f"perturbations {illegal} are only legal on token "
+                f"protocols, not {system.config.protocol!r} (baseline "
+                "protocols assume ordered, lossless request delivery)"
+            )
+
+        if spec.kernel_jitter_ns > 0:
+            rng = derive_rng(spec.seed, "perturb", "kernel")
+            system.sim._perturb = (rng.random, spec.kernel_jitter_ns)
+            system.sim.__class__ = PerturbedSimulator
+
+        if spec.link_jitter_ns > 0 or spec.reorder_jitter_ns > 0:
+            for link in iter_links(system.network):
+                rng = derive_rng(spec.seed, "perturb", "link", link.name)
+                link._perturb = (
+                    rng.random,
+                    spec.link_jitter_ns,
+                    spec.reorder_jitter_ns,
+                )
+                link.__class__ = JitteredLink
+            if isinstance(system.network, TorusInterconnect):
+                # Route the torus's batched multicast back through
+                # Link.occupy so broadcast hops are jittered too (the
+                # tree's fan-out already goes through occupy).
+                system.network.__class__ = JitteredTorus
+
+        if spec.drop_request_prob > 0 or spec.dup_request_prob > 0:
+            self._wrap_handlers(system)
+
+        if spec.force_escalation_prob > 0:
+            self._wrap_issue(system)
+
+        self.installed = True
+
+    # ------------------------------------------------------------------
+
+    def _wrap_handlers(self, system) -> None:
+        """Intercept message delivery to drop/duplicate transient requests."""
+        spec = self.spec
+        handlers = system.network._handlers
+        sim = system.sim
+        stats = self.stats
+        for node_id, handler in enumerate(handlers):
+            rng = derive_rng(spec.seed, "perturb", "delivery", node_id)
+
+            def wrapped(
+                msg,
+                _orig=handler,
+                _random=rng.random,
+                _drop=spec.drop_request_prob,
+                _dup=spec.dup_request_prob,
+                _delay=spec.dup_delay_ns,
+                _sim=sim,
+                _stats=stats,
+            ):
+                if msg.mtype in _TRANSIENT_MTYPES:
+                    roll = _random()
+                    if roll < _drop:
+                        _stats["dropped_requests"] += 1
+                        return
+                    if roll < _drop + _dup:
+                        _stats["duplicated_requests"] += 1
+                        _sim.post(_delay, _orig, msg)
+                _orig(msg)
+
+            handlers[node_id] = wrapped
+
+    def _wrap_issue(self, system) -> None:
+        """Randomly force misses onto the persistent-request path."""
+        spec = self.spec
+        stats = self.stats
+        for node in system.nodes:
+            rng = derive_rng(spec.seed, "perturb", "escalate", node.node_id)
+
+            def issue(
+                entry,
+                _orig=node._issue_transaction,
+                _node=node,
+                _random=rng.random,
+                _prob=spec.force_escalation_prob,
+                _delay=spec.force_escalation_delay_ns,
+                _stats=stats,
+            ):
+                _orig(entry)
+                if _random() < _prob:
+                    _stats["forced_escalations"] += 1
+                    _node.sim.post(_delay, _node.force_escalation, entry.block)
+
+            node._issue_transaction = issue

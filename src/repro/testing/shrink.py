@@ -1,0 +1,133 @@
+"""Failure shrinking and deterministic repro files.
+
+When the explorer finds a violating scenario, the raw form is noisy: a
+few hundred operations, several perturbations, more processors than the
+bug needs.  :func:`shrink` greedily minimizes the scenario — fewer
+operations, fewer processors, fewer perturbations, fewer config
+overrides — while requiring every accepted reduction to reproduce the
+*same violation type*.  Because a :class:`~repro.testing.explore.Scenario`
+is a pure function of its fields (workloads and perturbations are all
+seeded), the minimized scenario is a complete, replayable witness.
+
+The repro file is a small JSON document::
+
+    {
+      "format": "repro.testing/repro-v1",
+      "scenario": { ... Scenario.to_dict() ... },
+      "violation": {"type": "CoherenceViolation", "message": "..."}
+    }
+
+Replay it with ``python -m repro.testing.explore --repro FILE``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterator
+
+from repro.testing.explore import Scenario, ScenarioOutcome, run_scenario
+
+REPRO_FORMAT = "repro.testing/repro-v1"
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Single-step reductions, most aggressive first."""
+    if scenario.ops_per_proc > 1:
+        yield dataclasses.replace(
+            scenario, ops_per_proc=max(1, scenario.ops_per_proc // 2)
+        )
+        yield dataclasses.replace(
+            scenario, ops_per_proc=scenario.ops_per_proc - 1
+        )
+    if scenario.n_procs > 2:
+        yield dataclasses.replace(
+            scenario, n_procs=max(2, scenario.n_procs // 2)
+        )
+        yield dataclasses.replace(scenario, n_procs=scenario.n_procs - 1)
+    for field in scenario.perturb.active_fields():
+        yield dataclasses.replace(
+            scenario,
+            perturb=dataclasses.replace(scenario.perturb, **{field: 0.0}),
+        )
+    for key in scenario.config_overrides:
+        remaining = {
+            k: v for k, v in scenario.config_overrides.items() if k != key
+        }
+        yield dataclasses.replace(scenario, config_overrides=remaining)
+
+
+def shrink(
+    scenario: Scenario, max_runs: int = 200
+) -> tuple[Scenario, ScenarioOutcome]:
+    """Minimize a violating scenario; returns (scenario, its outcome).
+
+    Greedy descent: each accepted candidate must fail with the same
+    violation type as the original.  ``max_runs`` bounds the total
+    number of simulations.
+    """
+    outcome = run_scenario(scenario)
+    if outcome.ok:
+        raise ValueError("cannot shrink a scenario that does not fail")
+    expected = outcome.violation_type
+    current, current_outcome = scenario, outcome
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for candidate in _candidates(current):
+            runs += 1
+            candidate_outcome = run_scenario(candidate)
+            if (
+                not candidate_outcome.ok
+                and candidate_outcome.violation_type == expected
+            ):
+                current, current_outcome = candidate, candidate_outcome
+                improved = True
+                break
+            if runs >= max_runs:
+                break
+    return current, current_outcome
+
+
+# ----------------------------------------------------------------------
+# Repro files
+# ----------------------------------------------------------------------
+
+
+def write_repro(path, scenario: Scenario, outcome: ScenarioOutcome) -> None:
+    """Serialize a violating scenario and its observed violation."""
+    payload = {
+        "format": REPRO_FORMAT,
+        "scenario": scenario.to_dict(),
+        "violation": {
+            "type": outcome.violation_type,
+            "message": outcome.violation_message,
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_repro(path) -> tuple[Scenario, dict]:
+    """Read a repro file; returns (scenario, expected-violation dict)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != REPRO_FORMAT:
+        raise ValueError(f"{path}: not a {REPRO_FORMAT} file")
+    return Scenario.from_dict(payload["scenario"]), payload["violation"]
+
+
+def replay(path) -> tuple[bool, Scenario, ScenarioOutcome]:
+    """Re-run a repro file's scenario.
+
+    Returns ``(reproduced, scenario, outcome)`` where ``reproduced``
+    means the run failed with the recorded violation type.
+    """
+    scenario, expected = load_repro(path)
+    outcome = run_scenario(scenario)
+    reproduced = (
+        not outcome.ok and outcome.violation_type == expected["type"]
+    )
+    return reproduced, scenario, outcome

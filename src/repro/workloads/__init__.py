@@ -1,6 +1,13 @@
 """Workload generation: synthetic commercial models, microbenchmarks,
 and trace record/replay."""
 
+from repro.workloads.adversarial import (
+    ADVERSARIAL_WORKLOADS,
+    arbiter_contention_streams,
+    eviction_storm_streams,
+    false_sharing_streams,
+    writeback_churn_streams,
+)
 from repro.workloads.commercial import (
     APACHE,
     COMMERCIAL_WORKLOADS,
@@ -25,12 +32,17 @@ from repro.workloads.trace import (
 )
 
 __all__ = [
+    "ADVERSARIAL_WORKLOADS",
     "APACHE",
     "COMMERCIAL_WORKLOADS",
     "OLTP",
     "SPECJBB",
     "WorkloadSpec",
+    "arbiter_contention_streams",
     "contended_sharing_spec",
+    "eviction_storm_streams",
+    "false_sharing_streams",
+    "writeback_churn_streams",
     "dump_streams",
     "dumps_streams",
     "generate_stream",

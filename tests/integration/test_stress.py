@@ -14,12 +14,7 @@ from repro.config import SystemConfig
 from repro.processor.sequencer import MemoryOp
 from repro.sim.rng import derive_rng
 from repro.system.builder import build_system
-
-ALL_PROTOCOLS = ["tokenb", "snooping", "directory", "hammer", "null-token"]
-
-
-def interconnect_for(protocol):
-    return "tree" if protocol == "snooping" else "torus"
+from repro.system.grid import ALL_PROTOCOLS, interconnect_for
 
 
 def random_streams(seed, n_procs, ops_per_proc, n_blocks, write_prob, rng_tag):

@@ -1,0 +1,159 @@
+"""Property tests for the persistent-request arbiter under perturbation.
+
+The arbiter's contract (Section 3.2, Figure 3c) is schedule-independent:
+however the performance layer is jittered, each home's arbiter must
+
+* serve queued persistent requests **FIFO** (by arrival order),
+* keep **at most one session active** at a time, and
+* account for **full ack rounds**: every activation and deactivation
+  broadcast collects exactly ``n_procs`` acknowledgments before the
+  state machine advances.
+
+These tests run the null performance protocol — every miss goes through
+the persistent mechanism — under adversarial perturbation, with every
+arbiter instrumented to witness the properties live.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.system.builder import build_system
+from repro.testing.perturb import Perturber, PerturbSpec
+from repro.workloads.adversarial import (
+    arbiter_contention_streams,
+    false_sharing_streams,
+)
+
+N_PROCS = 4
+
+_PERTURB = dict(
+    kernel_jitter_ns=12.0,
+    link_jitter_ns=6.0,
+    reorder_jitter_ns=10.0,
+    drop_request_prob=0.10,
+    dup_request_prob=0.10,
+)
+
+
+def _build_instrumented(seed, generator, ops_per_proc=12):
+    config = SystemConfig(
+        protocol="null-token",
+        interconnect="torus",
+        n_procs=N_PROCS,
+        seed=seed,
+        l2_bytes=16 * 64,
+        l2_assoc=4,
+        l1_bytes=8 * 64,
+    )
+    streams = generator(seed, N_PROCS, ops_per_proc)
+    system = build_system(config, streams)
+    Perturber(PerturbSpec(seed=seed, **_PERTURB)).install(system)
+
+    witness = {
+        node.node_id: {"requests": [], "activations": [],
+                       "pact_acks": 0, "pdeact_acks": 0}
+        for node in system.nodes
+    }
+    for node in system.nodes:
+        arbiter = node.arbiter
+        log = witness[node.node_id]
+
+        def handle_request(block, requester, _a=arbiter, _log=log,
+                           _orig=arbiter.handle_request):
+            _log["requests"].append((block, requester))
+            _orig(block, requester)
+
+        def activate_next(_a=arbiter, _log=log,
+                          _orig=arbiter._activate_next):
+            # At-most-one-active: a new session may only start once the
+            # previous one is fully deactivated.
+            assert _a.current is None, (
+                f"arbiter {_a.node.node_id} activated a session while "
+                f"{_a.current} was still active"
+            )
+            _orig()
+            if _a.current is not None:
+                _log["activations"].append(
+                    (_a.current.block, _a.current.requester, _a.current.tag)
+                )
+
+        def pact_ack(src, _a=arbiter, _log=log,
+                     _orig=arbiter.handle_activation_ack):
+            _log["pact_acks"] += 1
+            _orig(src)
+
+        def pdeact_ack(src, _a=arbiter, _log=log,
+                       _orig=arbiter.handle_deactivation_ack):
+            _log["pdeact_acks"] += 1
+            _orig(src)
+
+        arbiter.handle_request = handle_request
+        arbiter._activate_next = activate_next
+        arbiter.handle_activation_ack = pact_ack
+        arbiter.handle_deactivation_ack = pdeact_ack
+    return system, witness
+
+
+def _check_arbiter_properties(system, witness):
+    for node in system.nodes:
+        arbiter = node.arbiter
+        log = witness[node.node_id]
+        activations = log["activations"]
+
+        # FIFO fairness: session tags are assigned at arrival, so the
+        # activation order must be exactly ascending-by-tag, and every
+        # request that arrived was eventually served.
+        tags = [tag for _, _, tag in activations]
+        assert tags == sorted(tags), (
+            f"arbiter {node.node_id} activated out of FIFO order: {tags}"
+        )
+        assert len(activations) == len(log["requests"])
+        assert [(b, r) for b, r, _ in activations] == log["requests"]
+
+        # Full ack-round accounting: n_procs acks per activation round
+        # and per deactivation round, none lost, none duplicated.
+        assert log["pact_acks"] == N_PROCS * len(activations)
+        assert log["pdeact_acks"] == N_PROCS * len(activations)
+        assert arbiter.sessions_served == len(activations)
+
+        # Quiescence: the state machine parked cleanly.
+        assert arbiter.state == "idle"
+        assert arbiter.current is None
+        assert not arbiter.queue
+        assert arbiter._acks_outstanding == 0
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_arbiter_contention_properties_under_perturbation(seed):
+    """All escalations funnel through node 0's arbiter; FIFO, single
+    activation, and ack accounting hold under jitter/drops/dups."""
+    system, witness = _build_instrumented(seed, arbiter_contention_streams)
+    result = system.run()
+    assert result.total_ops == N_PROCS * 12
+    _check_arbiter_properties(system, witness)
+    # The workload homed everything at node 0, and the null protocol
+    # guarantees the persistent path was actually exercised there.
+    assert witness[0]["activations"]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=5, deadline=None)
+def test_multi_home_arbiter_properties_under_perturbation(seed):
+    """Same properties when escalations spread across several homes."""
+    system, witness = _build_instrumented(seed, false_sharing_streams)
+    result = system.run()
+    assert result.total_ops == N_PROCS * 12
+    _check_arbiter_properties(system, witness)
+    assert sum(len(log["activations"]) for log in witness.values()) > 0
+
+
+def test_arbiter_properties_deterministic_baseline():
+    """One pinned seed, assertable in isolation (no hypothesis): the
+    contended run serves dozens of sessions and every property holds."""
+    system, witness = _build_instrumented(42, arbiter_contention_streams)
+    system.run()
+    _check_arbiter_properties(system, witness)
+    served = sum(len(log["activations"]) for log in witness.values())
+    assert served >= 10

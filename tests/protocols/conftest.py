@@ -5,12 +5,13 @@ import pytest
 from repro.config import SystemConfig
 from repro.processor.sequencer import MemoryOp
 from repro.system.builder import build_system
+from repro.system.grid import interconnect_for
 
 
 def make_config(protocol, **overrides):
     defaults = dict(
         protocol=protocol,
-        interconnect="tree" if protocol == "snooping" else "torus",
+        interconnect=interconnect_for(protocol),
         n_procs=4,
         l2_bytes=64 * 64,
         l1_bytes=16 * 64,

@@ -205,6 +205,65 @@ def test_compaction_preserves_firing_order():
     assert fired == sorted(survivors, key=lambda pair: (pair[0], pair[1]))
 
 
+def test_post_at_ties_with_post_in_insertion_order():
+    """post_at(T) and post(T - now) land in the same (time, seq) domain:
+    ties fire in exact insertion order regardless of which entry point
+    scheduled them."""
+    sim = Simulator()
+    fired = []
+
+    def submit():
+        sim.post_at(25.0, fired.append, "at1")
+        sim.post(15.0, fired.append, "rel1")
+        sim.post_at(25.0, fired.append, "at2")
+        sim.post(15.0, fired.append, "rel2")
+        sim.schedule_at(25.0, fired.append, "sched")
+
+    sim.schedule(10.0, submit)
+    sim.run()
+    assert fired == ["at1", "rel1", "at2", "rel2", "sched"]
+    assert sim.now == 25.0
+
+
+def test_compaction_threshold_boundary():
+    """Compaction needs BOTH thresholds: at least _COMPACT_MIN_CANCELLED
+    cancellations AND cancelled > half the heap.  One short of the
+    minimum leaves the heap untouched; the next qualifying cancel
+    compacts."""
+    from repro.sim import kernel as kernel_mod
+
+    minimum = kernel_mod._COMPACT_MIN_CANCELLED
+    sim = Simulator()
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(minimum + 10)]
+    for handle in handles[: minimum - 1]:
+        handle.cancel()
+    # Below the count floor: nothing compacted even though the cancelled
+    # fraction is far above _COMPACT_FRACTION (pending_events counts
+    # cancelled entries that are still physically queued).
+    assert sim._cancelled_pending == minimum - 1
+    assert sim.pending_events == minimum + 10
+    handles[minimum - 1].cancel()
+    # Count floor reached and fraction exceeded: compacted in place.
+    assert sim._cancelled_pending == 0
+    assert len(sim._heap) == 10
+
+
+def test_no_compaction_while_cancelled_fraction_is_small():
+    """Plenty of cancellations, but a large live heap keeps the
+    cancelled fraction under _COMPACT_FRACTION: no compaction."""
+    from repro.sim import kernel as kernel_mod
+
+    minimum = kernel_mod._COMPACT_MIN_CANCELLED
+    sim = Simulator()
+    for _ in range(4 * minimum):
+        sim.schedule(1.0, lambda: None)
+    doomed = [sim.schedule(2.0, lambda: None) for _ in range(minimum + 5)]
+    for handle in doomed:
+        handle.cancel()
+    assert sim._cancelled_pending == minimum + 5
+    assert len(sim._heap) == 5 * minimum + 5
+
+
 def test_cancel_is_idempotent_and_tracked():
     sim = Simulator()
     handle = sim.schedule(5.0, lambda: None)

@@ -1,10 +1,13 @@
 """System builder tests."""
 
+import gc
+
 import pytest
 
 from repro.config import SystemConfig
 from repro.processor.sequencer import MemoryOp
 from repro.system.builder import build_system, simulate
+from repro.system.grid import ALL_PROTOCOLS, interconnect_for
 from repro.workloads.commercial import OLTP
 
 
@@ -16,10 +19,10 @@ def test_builds_one_node_and_sequencer_per_processor():
 
 
 def test_all_protocols_buildable():
-    for protocol in ("tokenb", "snooping", "directory", "hammer", "null-token"):
-        interconnect = "tree" if protocol == "snooping" else "torus"
+    for protocol in ALL_PROTOCOLS:
         config = SystemConfig(
-            n_procs=4, protocol=protocol, interconnect=interconnect
+            n_procs=4, protocol=protocol,
+            interconnect=interconnect_for(protocol),
         )
         system = build_system(config, {})
         assert len(system.nodes) == 4
@@ -75,3 +78,41 @@ def test_streams_for_missing_procs_default_empty():
     system = build_system(config, {0: [MemoryOp(0x1000, False)]})
     result = system.run()
     assert result.total_ops == 1
+
+
+def test_gc_reenabled_after_clean_run():
+    """System.run pauses the cyclic collector for the event loop and
+    must hand it back afterwards."""
+    assert gc.isenabled()
+    config = SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus")
+    simulate(config, OLTP.scaled(20))
+    assert gc.isenabled()
+
+
+def test_gc_reenabled_when_exception_escapes_run_loop():
+    """An exception escaping mid-run (here the max_events safety valve,
+    firing with the queue still busy) must not leave GC disabled."""
+    assert gc.isenabled()
+    config = SystemConfig(n_procs=4, protocol="tokenb", interconnect="torus")
+    streams = {
+        proc: [MemoryOp(0x1000 + 0x40 * i, True) for i in range(10)]
+        for proc in range(4)
+    }
+    system = build_system(config, streams)
+    with pytest.raises(Exception):
+        system.run(max_events=10)
+    assert gc.isenabled()
+
+
+def test_gc_left_disabled_if_caller_disabled_it():
+    """System.run only restores the state it found: a caller that runs
+    with GC off keeps it off."""
+    gc.disable()
+    try:
+        config = SystemConfig(
+            n_procs=4, protocol="tokenb", interconnect="torus"
+        )
+        simulate(config, OLTP.scaled(10))
+        assert not gc.isenabled()
+    finally:
+        gc.enable()

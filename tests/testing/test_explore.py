@@ -1,0 +1,139 @@
+"""Schedule-explorer tests: scenario serialization, the sweep's oracle
+coverage, and the command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.system.grid import protocol_grid
+from repro.testing.explore import (
+    Scenario,
+    explore,
+    main,
+    make_scenario,
+    run_scenario,
+    scenario_grid,
+)
+from repro.testing.perturb import PerturbSpec
+from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+
+
+def test_scenario_roundtrips_through_dict():
+    scenario = make_scenario(5, "tokenb", "tree", "arbiter_contention")
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+def test_scenario_label_names_the_grid_point():
+    scenario = make_scenario(5, "tokenb", "tree", "false_sharing")
+    label = scenario.label()
+    assert "seed=5" in label
+    assert "tokenb/tree" in label
+    assert "false_sharing" in label
+    assert "perturb[" in label
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown workload"):
+        run_scenario(
+            Scenario(seed=0, protocol="tokenb", interconnect="torus",
+                     workload="nope")
+        )
+
+
+def test_grid_covers_all_protocols_topologies_and_workloads():
+    scenarios = scenario_grid(seeds=range(2))
+    # 9 legal (protocol, interconnect) pairs x 4 workloads x 2 seeds.
+    assert len(scenarios) == 2 * 9 * 4
+    seen = {(s.protocol, s.interconnect) for s in scenarios}
+    assert seen == set(protocol_grid())
+    assert {s.workload for s in scenarios} == set(ADVERSARIAL_WORKLOADS)
+
+
+def test_token_scenarios_get_full_adversarial_treatment():
+    scenario = make_scenario(0, "tokenb", "torus", "false_sharing")
+    assert scenario.perturb.drop_request_prob > 0
+    assert scenario.perturb.dup_request_prob > 0
+    baseline = make_scenario(0, "directory", "torus", "false_sharing")
+    assert baseline.perturb.active_fields() == ["link_jitter_ns"]
+
+
+def test_small_sweep_is_clean_and_reports_totals():
+    """One seed over a protocol subset: zero violations, and the report
+    proves the perturbations were live (drops observed)."""
+    scenarios = scenario_grid(
+        seeds=[0], protocols=("tokenb", "snooping"),
+        workloads=("false_sharing", "arbiter_contention"),
+    )
+    report = explore(scenarios)
+    assert report["scenarios"] == len(scenarios) == 6
+    assert report["violation_count"] == 0
+    assert report["totals"]["events_fired"] > 0
+    assert report["totals"]["dropped_requests"] > 0
+    assert report["by_protocol"]["tokenb/tree"] == 2
+
+
+def test_explore_lists_violations_with_their_scenarios():
+    bad = Scenario(seed=0, protocol="null-token", interconnect="torus",
+                   workload="false_sharing", ops_per_proc=8,
+                   mutant="no-escalation")
+    report = explore([bad])
+    assert report["violation_count"] == 1
+    violation = report["violations"][0]
+    assert violation["violation_type"] == "DeadlockError"
+    assert Scenario.from_dict(violation["scenario"]) == bad
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_sweep_writes_report_and_exits_zero(tmp_path):
+    out = tmp_path / "report.json"
+    code = main([
+        "--seeds", "1", "--protocols", "tokenb",
+        "--workloads", "false_sharing", "--quiet", "--out", str(out),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["scenarios"] == 2  # tokenb on torus and tree
+    assert report["violation_count"] == 0
+
+
+def test_cli_clean_sweep_writes_no_repro(tmp_path):
+    repro = tmp_path / "repro.json"
+    code = main([
+        "--seeds", "1", "--protocols", "null-token",
+        "--workloads", "false_sharing", "--quiet",
+        "--repro-out", str(repro),
+    ])
+    assert code == 0
+    assert not repro.exists()
+
+
+def test_cli_repro_replay(tmp_path):
+    from repro.testing.shrink import write_repro
+
+    bad = Scenario(seed=0, protocol="null-token", interconnect="torus",
+                   workload="false_sharing", ops_per_proc=8,
+                   mutant="no-escalation")
+    outcome = run_scenario(bad)
+    path = tmp_path / "repro.json"
+    write_repro(path, bad, outcome)
+    assert main(["--repro", str(path)]) == 0
+
+
+def test_cli_repro_replay_detects_non_reproduction(tmp_path):
+    from repro.testing.shrink import write_repro
+
+    good = Scenario(seed=0, protocol="tokenb", interconnect="torus",
+                    workload="false_sharing", ops_per_proc=8)
+    outcome = run_scenario(good)
+    assert outcome.ok
+    # Forge a repro claiming this clean scenario deadlocks.
+    path = tmp_path / "repro.json"
+    write_repro(path, good, outcome)
+    payload = json.loads(path.read_text())
+    payload["violation"] = {"type": "DeadlockError", "message": "forged"}
+    path.write_text(json.dumps(payload))
+    assert main(["--repro", str(path)]) == 1
