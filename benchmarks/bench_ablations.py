@@ -18,18 +18,21 @@ each on the OLTP model:
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import OPS_PER_PROC, pct_faster
-from repro import OLTP, SystemConfig, simulate
+from benchmarks.common import ensure, pct_faster, run
+from repro import OLTP, SystemConfig
+from repro.campaign.presets import ablations_spec
+
+#: The data points this bench declares (run via the campaign runner).
+CAMPAIGN_SPEC = ablations_spec()
 
 
-def _run(**overrides):
-    defaults = dict(protocol="tokenb", interconnect="torus", n_procs=16)
-    defaults.update(overrides)
-    return simulate(SystemConfig(**defaults), OLTP.scaled(OPS_PER_PROC))
+def _run(bandwidth=3.2, **overrides):
+    return run(OLTP, "tokenb", "torus", bandwidth=bandwidth, **overrides)
 
 
 def bench_ablation_migratory(benchmark):
     def collect():
+        ensure(CAMPAIGN_SPEC)
         return _run(), _run(migratory_optimization=False)
 
     with_opt, without_opt = benchmark.pedantic(collect, rounds=1, iterations=1)
@@ -44,6 +47,7 @@ def bench_ablation_migratory(benchmark):
 
 def bench_ablation_reissue_timeout(benchmark):
     def collect():
+        ensure(CAMPAIGN_SPEC)
         return {
             mult: _run(reissue_timeout_multiplier=mult)
             for mult in (0.5, 2.0, 8.0)
@@ -72,6 +76,7 @@ def bench_ablation_reissue_timeout(benchmark):
 
 def bench_ablation_token_count(benchmark):
     def collect():
+        ensure(CAMPAIGN_SPEC)
         return {t: _run(tokens_per_block=t) for t in (16, 64, 256)}
 
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
@@ -91,8 +96,9 @@ def bench_ablation_token_count(benchmark):
 
 def bench_ablation_bandwidth(benchmark):
     def collect():
+        ensure(CAMPAIGN_SPEC)
         return {
-            bw: _run(link_bandwidth_bytes_per_ns=bw)
+            bw: _run(bandwidth=bw)
             for bw in (0.8, 1.6, 3.2, 6.4, None)
         }
 

@@ -1,0 +1,144 @@
+"""Campaign runner throughput: scenarios/second at 1 / 2 / 4 workers.
+
+Measures the orchestration subsystem itself, not the simulator: a fixed
+adversarial explorer campaign (seeds × a two-protocol grid × two
+adversarial workloads, every oracle armed) is executed cold at each
+worker count, each into a fresh store, and the wall-clock scenario
+throughput is recorded.  A final pass reruns the campaign against the
+1-worker store and asserts a 100% store hit — the resume contract, timed
+as ``replay_s``.
+
+Results go to ``BENCH_campaign.json`` at the repo root (override with
+``REPRO_BENCH_CAMPAIGN_OUT``).  ``REPRO_BENCH_SMOKE=1`` shrinks the
+grid and stops at 2 workers.  Note this container may expose a single
+CPU; worker counts above the core count measure pool overhead, not
+speedup — ``cpu_count`` is recorded alongside so readers can tell.
+
+Run as ``pytest benchmarks/bench_campaign_scaling.py -s`` or
+``python benchmarks/bench_campaign_scaling.py``.
+"""
+
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign.presets import explorer_spec
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import CampaignStore
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _campaign():
+    seeds = 2 if _smoke() else 4
+    return explorer_spec(
+        seeds=seeds,
+        protocols=("tokenb", "directory"),
+        workloads=("false_sharing", "arbiter_contention"),
+    )
+
+
+def measure() -> dict:
+    spec = _campaign()
+    cases = spec.cases()
+    worker_counts = (1, 2) if _smoke() else (1, 2, 4)
+    results: dict[str, dict] = {}
+    roots: list[str] = []
+    keep_store = None
+    try:
+        for jobs in worker_counts:
+            root = tempfile.mkdtemp(prefix=f"campaign-scaling-{jobs}w-")
+            roots.append(root)
+            store = CampaignStore(root)
+            t0 = time.perf_counter()
+            report = run_campaign(cases, store, jobs=jobs)
+            wall = time.perf_counter() - t0
+            assert report.ok and report.executed == len(cases), report
+            results[f"{jobs}w"] = {
+                "jobs": jobs,
+                "scenarios": report.total,
+                "wall_s": round(wall, 4),
+                "scenarios_per_sec": round(report.total / wall, 1),
+            }
+            if jobs == 1:
+                keep_store = root
+        # Resume contract: a warm store replays with zero executions.
+        t0 = time.perf_counter()
+        replay = run_campaign(cases, CampaignStore(keep_store), jobs=1)
+        replay_wall = time.perf_counter() - t0
+        assert replay.executed == 0 and replay.cached == len(cases), replay
+        results["replay"] = {
+            "jobs": 1,
+            "scenarios": replay.total,
+            "wall_s": round(replay_wall, 4),
+            "scenarios_per_sec": round(replay.total / replay_wall, 1)
+            if replay_wall
+            else 0.0,
+        }
+    finally:
+        for root in roots:
+            shutil.rmtree(root, ignore_errors=True)
+    return results
+
+
+def write_report(results: dict) -> Path:
+    out = Path(
+        os.environ.get(
+            "REPRO_BENCH_CAMPAIGN_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_campaign.json",
+        )
+    )
+    report = {
+        "bench": "campaign_scaling",
+        "smoke": _smoke(),
+        "campaign": {
+            "kind": "explore",
+            "scenarios": len(_campaign().cases()),
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def _print(results: dict, out: Path) -> None:
+    print(f"Campaign runner throughput (scenarios/second); report -> {out}")
+    for label, row in results.items():
+        print(
+            f"  {label:>6}  {row['scenarios']:>4} scenarios  "
+            f"{row['wall_s']:>7.3f}s  {row['scenarios_per_sec']:>8,.1f} sc/s"
+        )
+
+
+def bench_campaign_scaling(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    out = write_report(results)
+    print()
+    _print(results, out)
+    for row in results.values():
+        assert row["scenarios_per_sec"] > 0
+    # Replaying a complete store must beat recomputing it outright.
+    assert results["replay"]["wall_s"] < results["1w"]["wall_s"]
+
+
+if __name__ == "__main__":
+    results = measure()
+    out = write_report(results)
+    _print(results, out)

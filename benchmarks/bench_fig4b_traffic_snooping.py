@@ -11,11 +11,16 @@ and dataless-token overheads.
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import run, workloads
+from benchmarks.common import ensure, run, workloads
 from repro.analysis.report import format_traffic_bars
+from repro.campaign.presets import fig4b_spec
+
+#: The data points this bench declares (run via the campaign runner).
+CAMPAIGN_SPEC = fig4b_spec()
 
 
 def _collect():
+    ensure(CAMPAIGN_SPEC)
     return {
         name: {
             "TokenB / tree": run(spec, "tokenb", "tree"),

@@ -13,11 +13,16 @@ traffic measurement, no queueing).
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import run
+from benchmarks.common import ensure, run
+from repro.campaign.presets import q5_spec
 from repro.workloads.microbench import contended_sharing_spec
+
+#: The data points this bench declares (run via the campaign runner).
+CAMPAIGN_SPEC = q5_spec()
 
 
 def _collect():
+    ensure(CAMPAIGN_SPEC)
     spec = contended_sharing_spec(ops_per_proc=150)
     data = {}
     for n_procs in (16, 32, 64):

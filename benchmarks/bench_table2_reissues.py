@@ -18,11 +18,16 @@ reissue, and well under 1% fall back to persistent requests.
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import run, workloads
+from benchmarks.common import ensure, run, workloads
 from repro.analysis.report import format_table2
+from repro.campaign.presets import table2_spec
+
+#: The data points this bench declares (run via the campaign runner).
+CAMPAIGN_SPEC = table2_spec()
 
 
 def _collect():
+    ensure(CAMPAIGN_SPEC)
     return {
         name: run(spec, "tokenb", "torus")
         for name, spec in workloads().items()

@@ -1,22 +1,24 @@
 """Shared plumbing for the benchmark harnesses.
 
-Every harness regenerates one of the paper's tables or figures.  Three
-layers keep re-runs cheap:
+Every harness regenerates one of the paper's tables or figures, and
+every harness now declares its data points as a
+:class:`repro.campaign.CampaignSpec` (see
+:mod:`repro.campaign.presets`).  Execution and caching all live in the
+campaign subsystem:
 
-* an in-process memo keyed on the full parameterization, so figure
-  benches that share data points (e.g. 4a and 4b) do not re-simulate;
-* an on-disk JSON cache (``benchmarks/.bench_cache/``, override with
-  ``REPRO_BENCH_CACHE``) keyed on the same parameterization plus a
-  cache version, so repeated suite runs skip simulation entirely —
-  simulations are bit-deterministic (the determinism regression suite
-  pins this), which is what makes disk caching sound;
-* :func:`prewarm`, which fans cache misses out over a
-  ``ProcessPoolExecutor`` so a cold suite run uses every core.  Each
-  worker writes its own cache file (atomic rename), so there are no
-  concurrent-write hazards.
+* :func:`run` fetches one configuration from the campaign store
+  (``benchmarks/.bench_cache``, override with ``REPRO_BENCH_CACHE``),
+  computing and recording it on a miss — sound because simulations are
+  bit-deterministic (the determinism regression suite pins this), and
+  invalidated automatically when the simulator's source changes (the
+  store keys include a code fingerprint);
+* :func:`ensure` runs a bench's declared spec through the campaign
+  runner, fanning misses out over a prewarmed worker pool — the cold
+  path for a whole-suite run;
+* an in-process memo keeps repeat lookups free within one process.
 
-Set ``REPRO_BENCH_PARALLEL=0`` to disable the process pool and
-``REPRO_BENCH_CACHE=none`` to disable the disk cache.
+Set ``REPRO_BENCH_PARALLEL=0`` to keep everything serial and
+``REPRO_BENCH_CACHE=none`` to disable the on-disk store.
 
 The harness is not trying to match the paper's absolute cycle counts —
 the substrate here is a synthetic-workload simulator, not Simics+TFsim
@@ -29,29 +31,28 @@ measured values against the paper's.
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
 import os
-import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
-from repro import COMMERCIAL_WORKLOADS, SystemConfig, simulate
+from repro.campaign import CampaignSpec, CampaignStore, make_record, run_campaign
+from repro.campaign.executors import (
+    execute_case,
+    result_from_payload,
+)
+from repro.campaign.presets import (  # noqa: F401 — re-exported for benches
+    OPS_PER_PROC,
+    simulate_case_params,
+)
+from repro.campaign.presets import figures_spec
+from repro.campaign.spec import ScenarioCase
 from repro.system.simulator import SimulationResult
 from repro.workloads.synthetic import WorkloadSpec
 
-#: Stream length per processor for the commercial-workload benches.
-OPS_PER_PROC = 400
-
-#: Bump to invalidate the disk cache (e.g. if simulation outputs are
-#: ever intentionally changed; the determinism suite pins them).
-CACHE_VERSION = 1
-
 _memo: dict[str, SimulationResult] = {}
+_store: CampaignStore | None = None
 
 
-def _cache_dir() -> Path | None:
+def _store_dir() -> Path | None:
     configured = os.environ.get("REPRO_BENCH_CACHE")
     if configured == "none":
         return None
@@ -60,112 +61,45 @@ def _cache_dir() -> Path | None:
     return Path(__file__).resolve().parent / ".bench_cache"
 
 
-def _case_params(
+def store() -> CampaignStore | None:
+    """The benchmark suite's campaign store (``None`` when disabled)."""
+    global _store
+    directory = _store_dir()
+    if directory is None:
+        return None
+    if _store is None or _store.root != directory:
+        _store = CampaignStore(directory)
+    return _store
+
+
+def _parallel_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_PARALLEL", "1") != "0"
+
+
+def case(
     workload: WorkloadSpec,
     protocol: str,
     interconnect: str,
-    bandwidth: float | None,
-    directory_latency: float,
-    n_procs: int,
-    ops_per_proc: int,
-) -> dict:
-    return {
-        "cache_version": CACHE_VERSION,
-        "workload": dataclasses.asdict(workload),
-        "protocol": protocol,
-        "interconnect": interconnect,
-        "bandwidth": bandwidth,
-        "directory_latency": directory_latency,
-        "n_procs": n_procs,
-        "ops_per_proc": ops_per_proc,
-    }
-
-
-def _cache_key(params: dict) -> str:
-    blob = json.dumps(params, sort_keys=True).encode()
-    digest = hashlib.sha256(blob).hexdigest()[:20]
-    return (
-        f"{params['workload']['name']}-{params['protocol']}"
-        f"-{params['interconnect']}-{digest}"
+    bandwidth: float | None = 3.2,
+    directory_latency: float = 80.0,
+    n_procs: int = 16,
+    ops_per_proc: int = OPS_PER_PROC,
+    **config_overrides,
+) -> ScenarioCase:
+    """The content-addressed case for one figure data point."""
+    return ScenarioCase(
+        "simulate",
+        simulate_case_params(
+            workload,
+            protocol,
+            interconnect,
+            bandwidth,
+            directory_latency,
+            n_procs,
+            ops_per_proc,
+            **config_overrides,
+        ),
     )
-
-
-def _result_to_payload(result: SimulationResult) -> dict:
-    return {
-        "config": dataclasses.asdict(result.config),
-        "workload_name": result.workload_name,
-        "runtime_ns": result.runtime_ns,
-        "total_ops": result.total_ops,
-        "total_misses": result.total_misses,
-        "counters": result.counters,
-        "traffic_bytes": result.traffic_bytes,
-        "events_fired": result.events_fired,
-        "per_proc_finish_ns": result.per_proc_finish_ns,
-        "l1_hits": result.l1_hits,
-        "l2_hits": result.l2_hits,
-        "mean_miss_latency_ns": result.mean_miss_latency_ns,
-        "ops_per_transaction": result.ops_per_transaction,
-    }
-
-
-def _result_from_payload(payload: dict) -> SimulationResult:
-    fields = dict(payload)
-    fields["config"] = SystemConfig(**fields["config"])
-    return SimulationResult(**fields)
-
-
-def _cache_load(key: str) -> SimulationResult | None:
-    directory = _cache_dir()
-    if directory is None:
-        return None
-    path = directory / f"{key}.json"
-    try:
-        payload = json.loads(path.read_text())
-        return _result_from_payload(payload)
-    except (OSError, ValueError, TypeError, KeyError):
-        # Missing, corrupt, or schema-mismatched entries are treated as
-        # misses and overwritten by the recompute.
-        return None
-
-
-def _cache_store(key: str, result: SimulationResult) -> None:
-    directory = _cache_dir()
-    if directory is None:
-        return
-    directory.mkdir(parents=True, exist_ok=True)
-    payload = json.dumps(_result_to_payload(result), sort_keys=True)
-    # Atomic publish: concurrent workers may race on the same key, but
-    # each rename installs a complete file with identical contents.
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(payload)
-        os.replace(tmp, directory / f"{key}.json")
-    except OSError:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-
-
-def _compute(params: dict) -> SimulationResult:
-    workload = WorkloadSpec(**params["workload"])
-    config = SystemConfig(
-        protocol=params["protocol"],
-        interconnect=params["interconnect"],
-        n_procs=params["n_procs"],
-        link_bandwidth_bytes_per_ns=params["bandwidth"],
-        directory_latency_ns=params["directory_latency"],
-    )
-    return simulate(config, workload.scaled(params["ops_per_proc"]))
-
-
-def _compute_and_store(params: dict) -> str:
-    """Worker entry point: simulate one case and publish its cache file."""
-    key = _cache_key(params)
-    result = _compute(params)
-    _cache_store(key, result)
-    return key
 
 
 def run(
@@ -176,9 +110,10 @@ def run(
     directory_latency: float = 80.0,
     n_procs: int = 16,
     ops_per_proc: int = OPS_PER_PROC,
+    **config_overrides,
 ) -> SimulationResult:
-    """Simulate one configuration (memoized in-process and on disk)."""
-    params = _case_params(
+    """Simulate one configuration (memoized in-process and in the store)."""
+    this = case(
         workload,
         protocol,
         interconnect,
@@ -186,91 +121,58 @@ def run(
         directory_latency,
         n_procs,
         ops_per_proc,
+        **config_overrides,
     )
-    key = _cache_key(params)
-    result = _memo.get(key)
+    result = _memo.get(this.key)
+    if result is not None:
+        return result
+    backing = store()
+    payload = backing.result_for(this) if backing is not None else None
+    result = None
+    if payload is not None:
+        try:
+            result = result_from_payload(payload)
+        except (TypeError, ValueError, KeyError):
+            # Schema-mismatched record (possible when the code
+            # fingerprint is pinned via REPRO_CAMPAIGN_FINGERPRINT
+            # across a schema change): treat as a miss and overwrite.
+            result = None
     if result is None:
-        result = _cache_load(key)
-        if result is None:
-            result = _compute(params)
-            _cache_store(key, result)
-        _memo[key] = result
+        payload = execute_case(this)
+        if backing is not None:
+            backing.append(make_record(this, payload), stream="serial")
+        result = result_from_payload(payload)
+    _memo[this.key] = result
     return result
 
 
-def standard_grid() -> list[dict]:
-    """Every configuration the figure suite touches, as worker params.
+def ensure(spec: CampaignSpec, max_workers: int | None = None) -> int:
+    """Fill the store for ``spec`` via the campaign runner.
 
-    Kept in sync with the bench modules so :func:`prewarm` covers a full
-    suite run; a config missing here still works — it is simply computed
-    (and disk-cached) on first use instead of in parallel.
+    Misses fan out over the runner's worker pool; returns the number of
+    scenarios actually simulated.  No-op (0) when the store is disabled
+    — :func:`run` then computes serially on demand — and serial when
+    ``REPRO_BENCH_PARALLEL=0``.
     """
-    grid: list[dict] = []
-    for spec in COMMERCIAL_WORKLOADS.values():
-        for protocol, interconnect, bandwidth, directory_latency in [
-            ("tokenb", "tree", 3.2, 80.0),
-            ("snooping", "tree", 3.2, 80.0),
-            ("tokenb", "torus", 3.2, 80.0),
-            ("tokenb", "tree", None, 80.0),
-            ("snooping", "tree", None, 80.0),
-            ("tokenb", "torus", None, 80.0),
-            ("hammer", "torus", 3.2, 80.0),
-            ("directory", "torus", 3.2, 80.0),
-            ("directory", "torus", 3.2, 0.0),
-            ("hammer", "torus", None, 80.0),
-            ("directory", "torus", None, 80.0),
-            ("tokend", "torus", 3.2, 80.0),
-            ("tokenm", "torus", 3.2, 80.0),
-        ]:
-            grid.append(
-                _case_params(
-                    spec, protocol, interconnect, bandwidth, directory_latency,
-                    16, OPS_PER_PROC,
-                )
-            )
-    from repro.workloads.microbench import contended_sharing_spec
-
-    contended = contended_sharing_spec(ops_per_proc=150)
-    for n_procs in (16, 32, 64):
-        for protocol in ("tokenb", "directory"):
-            grid.append(
-                _case_params(contended, protocol, "torus", None, 80.0, n_procs, 150)
-            )
-    return grid
-
-
-def prewarm(cases: list[dict] | None = None, max_workers: int | None = None) -> int:
-    """Fill the disk cache for ``cases`` (default: the standard grid).
-
-    Misses are computed in parallel over a process pool; returns the
-    number of configurations that were actually simulated.  No-op when
-    the disk cache or parallelism is disabled.
-    """
-    if _cache_dir() is None:
+    backing = store()
+    if backing is None:
         return 0
-    if os.environ.get("REPRO_BENCH_PARALLEL", "1") == "0":
+    jobs = max_workers if _parallel_enabled() else 1
+    report = run_campaign(spec, backing, jobs=jobs)
+    backing.close()
+    return report.executed
+
+
+def prewarm(max_workers: int | None = None) -> int:
+    """Fill the store for the whole figure suite (the union campaign)."""
+    if not _parallel_enabled():
         return 0
-    if cases is None:
-        cases = standard_grid()
-    misses = [
-        params
-        for params in cases
-        if not (_cache_dir() / f"{_cache_key(params)}.json").exists()
-    ]
-    if not misses:
-        return 0
-    if max_workers is None:
-        max_workers = min(len(misses), os.cpu_count() or 1)
-    if max_workers <= 1:
-        for params in misses:
-            _compute_and_store(params)
-        return len(misses)
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        list(pool.map(_compute_and_store, misses))
-    return len(misses)
+    return ensure(figures_spec(), max_workers=max_workers)
 
 
 def workloads() -> dict[str, WorkloadSpec]:
+    from repro import COMMERCIAL_WORKLOADS
+
     return COMMERCIAL_WORKLOADS
 
 

@@ -1,4 +1,4 @@
-"""Benchmark-suite fixtures: import paths and parallel cache prewarm."""
+"""Benchmark-suite fixtures: import paths and campaign-store prewarm."""
 
 import sys
 from pathlib import Path
@@ -13,14 +13,16 @@ import pytest  # noqa: E402
 
 @pytest.fixture(scope="session", autouse=True)
 def _prewarm_bench_cache():
-    """Fill the disk cache for the standard grid before any bench runs.
+    """Run the union figure campaign before any bench runs.
 
-    Cache misses are simulated in parallel across all cores; with a warm
-    cache this is a no-op, so the whole figure suite replays from disk.
+    The campaign runner fans store misses out across all cores (its
+    worker bootstrap is the single home of the old per-module
+    ProcessPool prewarm logic); with a warm store this is a no-op, so
+    the whole figure suite replays from disk.
     """
     from benchmarks import common
 
     computed = common.prewarm()
     if computed:
-        print(f"\n[benchmarks] prewarmed {computed} configurations")
+        print(f"\n[benchmarks] campaign prewarmed {computed} configurations")
     yield

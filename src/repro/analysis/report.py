@@ -4,6 +4,12 @@ Each function takes :class:`~repro.system.simulator.SimulationResult`
 objects and renders the corresponding table or figure series as text, so
 the benchmark harnesses regenerate recognizable artifacts (Table 2 rows,
 Figure 4/5 bar values) rather than raw dictionaries.
+
+:func:`render_figures_from_store` is the campaign-side entry point: it
+renders the same tables straight from a
+:class:`~repro.campaign.store.CampaignStore`, so
+``python -m repro.campaign report --spec figures`` regenerates every
+figure from recorded results without re-simulating anything.
 """
 
 from __future__ import annotations
@@ -100,3 +106,76 @@ def traffic_ratio(a: SimulationResult, b: SimulationResult) -> float:
     if b.bytes_per_miss == 0:
         return 0.0
     return a.bytes_per_miss / b.bytes_per_miss
+
+
+# ----------------------------------------------------------------------
+# Campaign-store aggregation
+# ----------------------------------------------------------------------
+
+
+class MissingResults(KeyError):
+    """A figure's scenarios are not all present in the store."""
+
+
+def render_figures_from_store(store, series=None, only=None) -> str | None:
+    """Render figure/table text straight from a campaign store.
+
+    ``series`` defaults to :func:`repro.campaign.presets.figure_series`;
+    ``only`` optionally restricts to a tuple of figure names (an empty
+    tuple renders nothing and returns ``None``, letting callers fall
+    back to a generic listing).  Raises :class:`MissingResults` naming
+    the first absent scenario if the store is incomplete — the renderer
+    never simulates.
+    """
+    from repro.campaign.executors import result_from_payload
+    from repro.campaign.spec import ScenarioCase
+
+    if series is None:
+        from repro.campaign.presets import figure_series
+
+        series = figure_series()
+    if only is not None:
+        series = [section for section in series if section["figure"] in only]
+    if not series:
+        return None
+
+    def fetch(figure: str, params: dict) -> SimulationResult:
+        record = store.get(ScenarioCase("simulate", params).key)
+        if record is None:
+            raise MissingResults(
+                f"{figure}: store {store.root} holds no result for "
+                f"{params['config'].get('protocol')}/"
+                f"{params['config'].get('interconnect')} on "
+                f"{params['workload'].get('name')}"
+            )
+        try:
+            return result_from_payload(record["result"])
+        except (TypeError, ValueError, KeyError) as exc:
+            raise MissingResults(
+                f"{figure}: record in {store.root} does not match the "
+                f"current result schema ({exc}); re-run the campaign"
+            ) from None
+
+    sections = []
+    for section in series:
+        data = {
+            workload: {
+                label: fetch(section["figure"], params)
+                for label, params in variants.items()
+            }
+            for workload, variants in section["data"].items()
+        }
+        if section["render"] == "runtime":
+            body = format_runtime_bars(data, baseline=section["baseline"])
+        elif section["render"] == "traffic":
+            body = format_traffic_bars(data, baseline=section["baseline"])
+        elif section["render"] == "table2":
+            flattened = {
+                workload: next(iter(variants.values()))
+                for workload, variants in data.items()
+            }
+            body = format_table2(flattened)
+        else:
+            raise ValueError(f"unknown renderer {section['render']!r}")
+        sections.append(f"{section['title']}\n{body}")
+    return "\n\n".join(sections)

@@ -1,0 +1,38 @@
+"""Campaign orchestration: sharded, resumable, content-addressed sweeps.
+
+The single execution path for every scenario sweep in the repo — the
+figure-bench prewarm, the adversarial schedule explorer, and the
+differential conformance harness all declare
+:class:`~repro.campaign.spec.CampaignSpec` objects and run them through
+:func:`~repro.campaign.runner.run_campaign` against a
+:class:`~repro.campaign.store.CampaignStore`.
+
+* scenarios are content-addressed: key = hash(kind, params, code
+  fingerprint), so resuming a killed campaign executes only what is
+  missing and a source change invalidates everything;
+* results live in JSON-lines shards with per-record flushes and atomic
+  compaction, so the store survives kills and its bytes are independent
+  of resume history;
+* ``python -m repro.campaign run|status|report`` drives it from the
+  command line (see :mod:`repro.campaign.cli`).
+"""
+
+from repro.campaign.runner import RunReport, run_campaign
+from repro.campaign.spec import (
+    CampaignSpec,
+    ScenarioCase,
+    code_fingerprint,
+    union_cases,
+)
+from repro.campaign.store import CampaignStore, make_record
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignStore",
+    "RunReport",
+    "ScenarioCase",
+    "code_fingerprint",
+    "make_record",
+    "run_campaign",
+    "union_cases",
+]

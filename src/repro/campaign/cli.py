@@ -1,0 +1,287 @@
+"""``python -m repro.campaign`` — run, inspect, and report campaigns.
+
+::
+
+    python -m repro.campaign run --spec figures --jobs 8
+    python -m repro.campaign run --spec explorer --seeds 64 --jobs 4
+    python -m repro.campaign status --spec figures
+    python -m repro.campaign report --spec figures
+
+``run`` is incremental: killing it mid-campaign loses nothing but the
+in-flight scenarios, and the rerun executes only what the store is
+missing (``--expect-cached`` turns "nothing should execute" into an
+exit-code assertion, which CI uses to prove store round-trips).  Specs
+are named presets (:data:`repro.campaign.presets.SPEC_BUILDERS`) or a
+JSON file holding a serialized :class:`CampaignSpec`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.campaign import presets
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, code_fingerprint
+from repro.campaign.store import CampaignStore
+
+#: run exit codes beyond 0/1 (violations) — distinct so CI can assert.
+EXIT_EXECUTOR_FAILURE = 2
+EXIT_NOT_CACHED = 3
+
+
+def resolve_spec(name: str, args) -> CampaignSpec:
+    path = Path(name)
+    if name.endswith(".json") or path.is_file():
+        return CampaignSpec.from_dict(json.loads(path.read_text()))
+    try:
+        builder = presets.SPEC_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(presets.SPEC_BUILDERS))
+        raise SystemExit(f"unknown spec {name!r} (known: {known}, or a .json file)")
+    kwargs = {}
+    if name == "explorer":
+        kwargs = dict(
+            seeds=args.seeds, seed_base=args.seed_base, smoke=args.smoke
+        )
+    elif name == "differential":
+        kwargs = dict(seeds=args.seeds, seed_base=args.seed_base)
+    return builder(**kwargs)
+
+
+def resolve_store(spec: CampaignSpec, args) -> CampaignStore:
+    root = args.store or spec.default_store or f".campaign_store/{spec.name}"
+    return CampaignStore(root)
+
+
+def _scan_violations(kind: str, cases, store: CampaignStore) -> list[str]:
+    """Oracle violations / conformance mismatches recorded in results."""
+    violations = []
+    for case in cases:
+        record = store.get(case.key)
+        if record is None:
+            continue
+        result = record["result"]
+        if kind == "explore" and not result.get("ok", True):
+            violations.append(
+                f"{case.key[:12]} {result.get('violation_type')}: "
+                f"{result.get('violation_message')}"
+            )
+        elif kind == "differential" and not result.get("agreed", True):
+            bad = {
+                k: v for k, v in result.get("mismatches", {}).items() if v
+            }
+            violations.append(
+                f"{case.key[:12]} workload={result.get('workload')} "
+                f"seed={result.get('seed')}: {bad}"
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    spec = resolve_spec(args.spec, args)
+    store = resolve_store(spec, args)
+    # Hash the scenario documents once; every later step reuses them.
+    cases = spec.cases()
+    total = len(cases)
+
+    def progress(done, _total, case, ok, error):
+        if args.quiet:
+            return
+        status = "ok" if ok else f"FAILED({error})"
+        print(f"[{done:>5}/{_total}] {case.kind} {case.key[:12]}: {status}",
+              flush=True)
+
+    report = run_campaign(
+        cases,
+        store,
+        jobs=args.jobs,
+        progress=progress,
+        max_tasks_per_child=args.max_tasks_per_child,
+    )
+    print(
+        f"campaign {spec.name!r}: {report.total} scenarios, "
+        f"{report.executed} executed, {report.cached} cached "
+        f"({report.cached / max(total, 1):.0%} store hit), "
+        f"{len(report.failures)} failures, {report.elapsed_s}s "
+        f"-> {store.root}"
+    )
+    for failure in report.failures[:5]:
+        print(f"  failure {failure['key'][:12]}: {failure['error']}")
+    violations = _scan_violations(spec.kind, cases, store)
+    if violations:
+        print(f"{len(violations)} scenario violations recorded:")
+        for line in violations[:5]:
+            print(f"  {line}")
+    if report.failures:
+        return EXIT_EXECUTOR_FAILURE
+    if args.expect_cached and report.executed:
+        print(
+            f"--expect-cached: {report.executed} scenarios executed "
+            "(store was not a 100% hit)"
+        )
+        return EXIT_NOT_CACHED
+    return 1 if violations else 0
+
+
+def cmd_status(args) -> int:
+    spec = resolve_spec(args.spec, args)
+    store = resolve_store(spec, args)
+    cases = spec.cases()
+    missing = store.missing(cases)
+    stats = store.stats()
+    stale = len(store.stale_records())
+    print(f"campaign:    {spec.name} (kind={spec.kind})")
+    print(f"store:       {store.root}")
+    print(f"fingerprint: {code_fingerprint()}")
+    print(f"scenarios:   {len(cases)} declared, "
+          f"{len(cases) - len(missing)} complete, {len(missing)} missing")
+    print(f"records:     {stats['records']} total, {stale} stale-fingerprint")
+    print(f"files:       {stats['shard_files']} shards, "
+          f"{stats['pending_files']} pending, "
+          f"{stats['corrupt_lines']} torn lines skipped")
+    return 0
+
+
+def cmd_report(args) -> int:
+    spec = resolve_spec(args.spec, args)
+    store = resolve_store(spec, args)
+    cases = spec.cases()
+    missing = store.missing(cases)
+    if missing:
+        print(
+            f"{len(missing)} of {len(cases)} scenarios missing from "
+            f"{store.root}; run:  python -m repro.campaign run --spec {args.spec}"
+        )
+        return 1
+    if spec.kind == "simulate":
+        from repro.analysis.report import render_figures_from_store
+
+        text = render_figures_from_store(store, only=_series_subset(spec.name))
+        if text is None:
+            text = _generic_simulate_report(cases, store)
+    elif spec.kind == "explore":
+        text = _explore_report(cases, store)
+    else:
+        text = _differential_report(cases, store)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"report -> {args.out}")
+    return 0
+
+
+def _series_subset(name: str):
+    known = {s["figure"] for s in presets.figure_series()}
+    if name == "figures":
+        return None  # every section
+    return (name,) if name in known else ()
+
+
+def _generic_simulate_report(cases, store: CampaignStore) -> str:
+    from repro.campaign.executors import result_from_payload
+
+    lines = [
+        f"{'workload':<22} {'protocol':<10} {'ic':<6} {'procs':>5} "
+        f"{'cyc/txn':>10} {'B/miss':>8}"
+    ]
+    for case in cases:
+        result = result_from_payload(store.get(case.key)["result"])
+        lines.append(
+            f"{result.workload_name:<22} {result.config.protocol:<10} "
+            f"{result.config.interconnect:<6} {result.config.n_procs:>5} "
+            f"{result.cycles_per_transaction:>10.1f} "
+            f"{result.bytes_per_miss:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _explore_report(cases, store: CampaignStore) -> str:
+    from repro.testing.explore import Scenario, ScenarioOutcome, summarize
+
+    # Both lists derive from the same deduplicated cases, so duplicate
+    # grid entries cannot misalign scenarios and outcomes.
+    scenarios = [Scenario.from_dict(case.params) for case in cases]
+    outcomes = [ScenarioOutcome(**store.get(case.key)["result"]) for case in cases]
+    report = summarize(scenarios, outcomes)
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def _differential_report(cases, store: CampaignStore) -> str:
+    lines = []
+    disagreed = 0
+    for case in cases:
+        result = store.get(case.key)["result"]
+        status = "agreed" if result["agreed"] else "MISMATCH"
+        disagreed += 0 if result["agreed"] else 1
+        lines.append(
+            f"{result['workload']:<20} seed={result['seed']:<4} "
+            f"ref={result['reference']:<16} {status}"
+        )
+    lines.append(
+        f"{len(lines)} comparisons, {disagreed} disagreements"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Sharded, resumable, content-addressed scenario sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn in (("run", cmd_run), ("status", cmd_status), ("report", cmd_report)):
+        cmd = sub.add_parser(name)
+        cmd.set_defaults(fn=fn)
+        cmd.add_argument("--spec", required=True,
+                         help="preset name or spec JSON file")
+        cmd.add_argument("--store", default=None,
+                         help="store directory (default: the spec's)")
+        cmd.add_argument("--seeds", type=int, default=8,
+                         help="seed count for explorer/differential specs")
+        cmd.add_argument("--seed-base", type=int, default=0)
+        cmd.add_argument("--smoke", action="store_true",
+                         help="reduced-scale explorer scenarios")
+        if name == "run":
+            cmd.add_argument("--jobs", type=int, default=None,
+                             help="worker processes (default: all cores; "
+                                  "1 = serial in-process)")
+            cmd.add_argument("--max-tasks-per-child", type=int, default=None,
+                             help="recycle workers after N scenarios "
+                                  "(bounds per-worker memory)")
+            cmd.add_argument("--expect-cached", action="store_true",
+                             help="exit nonzero if anything executed")
+            cmd.add_argument("-q", "--quiet", action="store_true")
+        if name == "report":
+            cmd.add_argument("--out", default=None,
+                             help="also write the report to this file")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `report | head`) closed early; suppress
+        # the interpreter's noisy shutdown message but exit with the
+        # conventional SIGPIPE status (128+13) — never a misleading 0,
+        # since run's exit code is a CI contract.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+if __name__ == "__main__":
+    sys.exit(main())

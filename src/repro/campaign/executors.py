@@ -1,0 +1,114 @@
+"""Executors: how each campaign ``kind`` turns params into a result.
+
+Every executor is a pure function of its params document — simulations
+are seeded and bit-deterministic — returning a JSON-serializable result
+payload.  That purity is what makes the content-addressed store sound:
+a record is exactly reproducible from its params, so serving it from
+disk is indistinguishable from recomputing it.
+
+Registered kinds:
+
+``simulate``
+    One full-system simulation (the figure benches' unit of work).
+    Params: ``{"workload": asdict(WorkloadSpec), "ops_per_proc": N,
+    "config": {SystemConfig kwargs}}``.  Result: the
+    :class:`~repro.system.simulator.SimulationResult` payload.
+``explore``
+    One adversarial schedule-explorer scenario with every oracle armed.
+    Params: :meth:`repro.testing.explore.Scenario.to_dict`.  Result:
+    ``asdict(ScenarioOutcome)`` — oracle violations are *data* here, not
+    exceptions, so a violating scenario still produces a cacheable
+    record.
+``differential``
+    One cross-protocol conformance comparison.  Params:
+    ``run_differential`` keyword arguments.  Result: its report dict.
+
+Protocol imports happen inside the executors so this module stays cheap
+to import from worker bootstrap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.campaign.spec import ScenarioCase
+
+
+# ----------------------------------------------------------------------
+# SimulationResult <-> JSON payload
+# ----------------------------------------------------------------------
+
+
+def result_to_payload(result) -> dict:
+    """Flatten a :class:`SimulationResult` into a JSON-safe document."""
+    return {
+        "config": dataclasses.asdict(result.config),
+        "workload_name": result.workload_name,
+        "runtime_ns": result.runtime_ns,
+        "total_ops": result.total_ops,
+        "total_misses": result.total_misses,
+        "counters": result.counters,
+        "traffic_bytes": result.traffic_bytes,
+        "events_fired": result.events_fired,
+        "per_proc_finish_ns": result.per_proc_finish_ns,
+        "l1_hits": result.l1_hits,
+        "l2_hits": result.l2_hits,
+        "mean_miss_latency_ns": result.mean_miss_latency_ns,
+        "ops_per_transaction": result.ops_per_transaction,
+    }
+
+
+def result_from_payload(payload: dict):
+    """Rebuild a :class:`SimulationResult` from its stored payload."""
+    from repro.config import SystemConfig
+    from repro.system.simulator import SimulationResult
+
+    fields = dict(payload)
+    fields["config"] = SystemConfig(**fields["config"])
+    return SimulationResult(**fields)
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+def _run_simulate(params: dict) -> dict:
+    from repro.config import SystemConfig
+    from repro.system.builder import simulate
+    from repro.workloads.synthetic import WorkloadSpec
+
+    config = SystemConfig(**params["config"])
+    workload = WorkloadSpec(**params["workload"])
+    result = simulate(config, workload.scaled(params["ops_per_proc"]))
+    return result_to_payload(result)
+
+
+def _run_explore(params: dict) -> dict:
+    from repro.testing.explore import Scenario, run_scenario
+
+    outcome = run_scenario(Scenario.from_dict(params))
+    return dataclasses.asdict(outcome)
+
+
+def _run_differential(params: dict) -> dict:
+    from repro.testing.differential import run_differential
+
+    return run_differential(**params)
+
+
+#: kind -> executor.  Tests may register additional kinds.
+EXECUTORS = {
+    "simulate": _run_simulate,
+    "explore": _run_explore,
+    "differential": _run_differential,
+}
+
+
+def execute_case(case: ScenarioCase):
+    """Run one case through its registered executor."""
+    try:
+        executor = EXECUTORS[case.kind]
+    except KeyError:
+        raise ValueError(f"unknown campaign kind {case.kind!r}") from None
+    return executor(case.params)

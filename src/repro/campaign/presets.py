@@ -1,0 +1,407 @@
+"""The repo's declared campaigns.
+
+Every sweep that used to carry its own loop lives here as a
+:class:`~repro.campaign.spec.CampaignSpec`:
+
+* the **figure campaigns** — one spec per figure/table benchmark, plus
+  :func:`figures_spec`, their deduplicated union (what the bench-suite
+  prewarm and the CI store cache cover).  :func:`figure_series` is the
+  same data keyed for rendering, consumed by
+  :func:`repro.analysis.report.render_figures_from_store`;
+* the **explorer campaign** — seeds × canonical protocol/topology grid
+  × adversarial workloads (``python -m repro.testing.explore --jobs``);
+* the **differential campaign** — cross-protocol conformance points;
+* the **smoke campaign** — a minutes-scale grid CI runs twice to prove
+  the second pass is a 100% store hit.
+
+The figure case documents reproduce ``benchmarks/common.py``'s historic
+parameterization exactly (same workloads, same ``SystemConfig`` fields),
+so the migrated benches compute byte-identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.campaign.spec import CampaignSpec, union_cases
+
+#: Stream length per processor for the commercial-workload benches.
+OPS_PER_PROC = 400
+
+
+def _default_store(relative: str) -> str:
+    """Anchor a spec's default store to the repo root, not the cwd.
+
+    ``python -m repro.campaign`` must find the same store no matter
+    where it is invoked from (``benchmarks/common.py`` anchors its store
+    absolutely too).  The repo root is two levels above the ``repro``
+    package in this source layout.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parents[2]
+    return str(root / relative)
+
+
+def simulate_case_params(
+    workload,
+    protocol: str,
+    interconnect: str,
+    bandwidth: float | None = 3.2,
+    directory_latency: float = 80.0,
+    n_procs: int = 16,
+    ops_per_proc: int = OPS_PER_PROC,
+    **config_overrides,
+) -> dict:
+    """The ``simulate``-kind params document for one figure data point."""
+    config = dict(
+        protocol=protocol,
+        interconnect=interconnect,
+        n_procs=n_procs,
+        link_bandwidth_bytes_per_ns=bandwidth,
+        directory_latency_ns=directory_latency,
+    )
+    config.update(config_overrides)
+    return {
+        "workload": dataclasses.asdict(workload),
+        "ops_per_proc": ops_per_proc,
+        "config": config,
+    }
+
+
+def _commercial_workloads():
+    from repro.workloads import COMMERCIAL_WORKLOADS
+
+    return COMMERCIAL_WORKLOADS
+
+
+# ----------------------------------------------------------------------
+# Figure series: figure -> renderer + {workload: {variant label: params}}
+# ----------------------------------------------------------------------
+
+
+def figure_series() -> list[dict]:
+    """Render-ready descriptors for every figure/table the suite draws."""
+    specs = _commercial_workloads()
+    fig4a = {
+        name: {
+            "TokenB / tree": simulate_case_params(spec, "tokenb", "tree"),
+            "Snooping / tree": simulate_case_params(spec, "snooping", "tree"),
+            "TokenB / torus": simulate_case_params(spec, "tokenb", "torus"),
+            "TokenB / tree (unlim bw)": simulate_case_params(
+                spec, "tokenb", "tree", None
+            ),
+            "Snooping / tree (unlim bw)": simulate_case_params(
+                spec, "snooping", "tree", None
+            ),
+            "TokenB / torus (unlim bw)": simulate_case_params(
+                spec, "tokenb", "torus", None
+            ),
+        }
+        for name, spec in specs.items()
+    }
+    fig4b = {
+        name: {
+            "TokenB / tree": simulate_case_params(spec, "tokenb", "tree"),
+            "Snooping / tree": simulate_case_params(spec, "snooping", "tree"),
+        }
+        for name, spec in specs.items()
+    }
+    fig5a = {
+        name: {
+            "TokenB": simulate_case_params(spec, "tokenb", "torus"),
+            "Hammer": simulate_case_params(spec, "hammer", "torus"),
+            "Directory (DRAM)": simulate_case_params(spec, "directory", "torus"),
+            "Directory (perfect)": simulate_case_params(
+                spec, "directory", "torus", directory_latency=0.0
+            ),
+            "TokenB (unlim bw)": simulate_case_params(spec, "tokenb", "torus", None),
+            "Hammer (unlim bw)": simulate_case_params(spec, "hammer", "torus", None),
+            "Directory (unlim bw)": simulate_case_params(
+                spec, "directory", "torus", None
+            ),
+        }
+        for name, spec in specs.items()
+    }
+    fig5b = {
+        name: {
+            "TokenB": simulate_case_params(spec, "tokenb", "torus"),
+            "Hammer": simulate_case_params(spec, "hammer", "torus"),
+            "Directory": simulate_case_params(spec, "directory", "torus"),
+        }
+        for name, spec in specs.items()
+    }
+    table2 = {
+        name: {"TokenB / torus": simulate_case_params(spec, "tokenb", "torus")}
+        for name, spec in specs.items()
+    }
+    oltp = specs["oltp"]
+    section7 = {
+        "oltp": {
+            "TokenB": simulate_case_params(oltp, "tokenb", "torus"),
+            "TokenD": simulate_case_params(oltp, "tokend", "torus"),
+            "TokenM": simulate_case_params(oltp, "tokenm", "torus"),
+            "Directory": simulate_case_params(oltp, "directory", "torus"),
+        }
+    }
+    return [
+        {
+            "figure": "fig4a",
+            "title": "Figure 4a — Runtime: snooping v. token coherence",
+            "render": "runtime",
+            "baseline": "Snooping / tree",
+            "data": fig4a,
+        },
+        {
+            "figure": "fig4b",
+            "title": "Figure 4b — Traffic: snooping v. token coherence",
+            "render": "traffic",
+            "baseline": "Snooping / tree",
+            "data": fig4b,
+        },
+        {
+            "figure": "fig5a",
+            "title": "Figure 5a — Runtime: directory v. token coherence",
+            "render": "runtime",
+            "baseline": "TokenB",
+            "data": fig5a,
+        },
+        {
+            "figure": "fig5b",
+            "title": "Figure 5b — Traffic: directory v. token coherence",
+            "render": "traffic",
+            "baseline": "TokenB",
+            "data": fig5b,
+        },
+        {
+            "figure": "table2",
+            "title": "Table 2 — Overhead due to reissued requests (TokenB, torus)",
+            "render": "table2",
+            "data": table2,
+        },
+        {
+            "figure": "section7",
+            "title": "Section 7 — extension performance protocols (OLTP, torus)",
+            "render": "runtime",
+            "baseline": "TokenB",
+            "data": section7,
+        },
+    ]
+
+
+def _series_spec(name: str, figures: tuple[str, ...]) -> CampaignSpec:
+    grid = [
+        params
+        for section in figure_series()
+        if section["figure"] in figures
+        for variants in section["data"].values()
+        for params in variants.values()
+    ]
+    # Every figure-family spec shares the benchmark suite's store, so
+    # the CLI and the benches serve each other's results.
+    return CampaignSpec(
+        name=name,
+        kind="simulate",
+        grid=grid,
+        default_store=_default_store("benchmarks/.bench_cache"),
+    )
+
+
+def fig4a_spec() -> CampaignSpec:
+    return _series_spec("fig4a", ("fig4a",))
+
+
+def fig4b_spec() -> CampaignSpec:
+    return _series_spec("fig4b", ("fig4b",))
+
+
+def fig5a_spec() -> CampaignSpec:
+    return _series_spec("fig5a", ("fig5a",))
+
+
+def fig5b_spec() -> CampaignSpec:
+    return _series_spec("fig5b", ("fig5b",))
+
+
+def table2_spec() -> CampaignSpec:
+    return _series_spec("table2", ("table2",))
+
+
+def section7_spec() -> CampaignSpec:
+    return _series_spec("section7", ("section7",))
+
+
+def q5_spec() -> CampaignSpec:
+    """Question 5 broadcast-scalability points (contended microbench)."""
+    from repro.workloads.microbench import contended_sharing_spec
+
+    contended = contended_sharing_spec(ops_per_proc=150)
+    grid = [
+        simulate_case_params(
+            contended, protocol, "torus", None, n_procs=n, ops_per_proc=150
+        )
+        for n in (16, 32, 64)
+        for protocol in ("tokenb", "directory")
+    ]
+    return CampaignSpec(
+        name="q5",
+        kind="simulate",
+        grid=grid,
+        default_store=_default_store("benchmarks/.bench_cache"),
+    )
+
+
+def ablations_spec() -> CampaignSpec:
+    """Section 4.2 ablation points (OLTP, TokenB/torus variants)."""
+    from repro.workloads import COMMERCIAL_WORKLOADS
+
+    oltp = COMMERCIAL_WORKLOADS["oltp"]
+    grid = [simulate_case_params(oltp, "tokenb", "torus")]
+    grid.append(
+        simulate_case_params(
+            oltp, "tokenb", "torus", migratory_optimization=False
+        )
+    )
+    grid.extend(
+        simulate_case_params(
+            oltp, "tokenb", "torus", reissue_timeout_multiplier=mult
+        )
+        for mult in (0.5, 2.0, 8.0)
+    )
+    grid.extend(
+        simulate_case_params(oltp, "tokenb", "torus", tokens_per_block=t)
+        for t in (16, 64, 256)
+    )
+    grid.extend(
+        simulate_case_params(oltp, "tokenb", "torus", bandwidth=bw)
+        for bw in (0.8, 1.6, 3.2, 6.4, None)
+    )
+    return CampaignSpec(
+        name="ablations",
+        kind="simulate",
+        grid=grid,
+        default_store=_default_store("benchmarks/.bench_cache"),
+    )
+
+
+def figures_spec() -> CampaignSpec:
+    """The union of every figure-suite campaign (the bench prewarm set)."""
+    parts = [
+        fig4a_spec(),
+        fig4b_spec(),
+        fig5a_spec(),
+        fig5b_spec(),
+        table2_spec(),
+        section7_spec(),
+        q5_spec(),
+        ablations_spec(),
+    ]
+    seen: dict[str, dict] = {}
+    for part in parts:
+        for case in part.cases():
+            seen.setdefault(case.key, case.params)
+    return CampaignSpec(
+        name="figures",
+        kind="simulate",
+        grid=list(seen.values()),
+        default_store=_default_store("benchmarks/.bench_cache"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Explorer / differential / smoke campaigns
+# ----------------------------------------------------------------------
+
+
+def explorer_spec(
+    seeds: int = 8,
+    seed_base: int = 0,
+    protocols=None,
+    workloads=None,
+    smoke: bool = False,
+) -> CampaignSpec:
+    """The adversarial schedule explorer's sweep as a campaign.
+
+    ``smoke=True`` matches ``python -m repro.testing.explore --smoke``
+    exactly: :data:`~repro.testing.explore.SMOKE_SEEDS` seeds with the
+    shared reduced-scale scenario transform.
+    """
+    from repro.system.grid import ALL_PROTOCOLS
+    from repro.testing.explore import SMOKE_SEEDS, scenario_grid, smoke_scenarios
+    from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+
+    scenarios = scenario_grid(
+        range(seed_base, seed_base + (min(seeds, SMOKE_SEEDS) if smoke else seeds)),
+        protocols if protocols is not None else ALL_PROTOCOLS,
+        workloads if workloads is not None else tuple(ADVERSARIAL_WORKLOADS),
+    )
+    if smoke:
+        scenarios = smoke_scenarios(scenarios)
+    return CampaignSpec(
+        name="explorer",
+        kind="explore",
+        grid=[scenario.to_dict() for scenario in scenarios],
+        default_store=_default_store("campaigns/explorer"),
+    )
+
+
+def differential_spec(seeds: int = 4, seed_base: int = 0, workloads=None) -> CampaignSpec:
+    """Cross-protocol conformance: workloads × seeds."""
+    from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+
+    names = workloads if workloads is not None else tuple(ADVERSARIAL_WORKLOADS)
+    return CampaignSpec(
+        name="differential",
+        kind="differential",
+        base={"n_procs": 4, "ops_per_proc": 40},
+        axes=[
+            ("workload", list(names)),
+            ("seed", list(range(seed_base, seed_base + seeds))),
+        ],
+        default_store=_default_store("campaigns/differential"),
+    )
+
+
+def smoke_spec() -> CampaignSpec:
+    """A small, fast grid campaign: CI runs it twice to prove resume."""
+    specs = _commercial_workloads()
+    grid = [
+        simulate_case_params(
+            specs[name], protocol, interconnect, n_procs=8, ops_per_proc=80
+        )
+        for name in ("apache", "oltp")
+        for protocol, interconnect in (
+            ("tokenb", "torus"),
+            ("directory", "torus"),
+            ("snooping", "tree"),
+        )
+    ]
+    return CampaignSpec(
+        name="smoke",
+        kind="simulate",
+        grid=grid,
+        default_store=_default_store("campaigns/smoke"),
+    )
+
+
+#: Named specs the CLI resolves (callables taking optional kwargs).
+SPEC_BUILDERS = {
+    "figures": figures_spec,
+    "fig4a": fig4a_spec,
+    "fig4b": fig4b_spec,
+    "fig5a": fig5a_spec,
+    "fig5b": fig5b_spec,
+    "table2": table2_spec,
+    "section7": section7_spec,
+    "q5": q5_spec,
+    "ablations": ablations_spec,
+    "explorer": explorer_spec,
+    "differential": differential_spec,
+    "smoke": smoke_spec,
+}
+
+
+def union_spec_cases(*names):
+    """Cases of several named specs, deduplicated (CLI convenience)."""
+    return union_cases([SPEC_BUILDERS[name]() for name in names])

@@ -1,0 +1,191 @@
+"""Campaign specifications and content-addressed scenario identity.
+
+A *campaign* is a declared set of scenarios — protocol-grid points ×
+workloads × seeds × config overrides — executed by one of the registered
+executors (:mod:`repro.campaign.executors`).  Two identities anchor the
+whole subsystem:
+
+:class:`ScenarioCase`
+    One fully-determined unit of work: an executor ``kind`` plus a
+    JSON-canonical ``params`` document.  Its ``key`` is a SHA-256 over
+    the canonical JSON of ``(kind, params, fingerprint)`` — the same
+    scenario always hashes to the same key, any parameter change (or a
+    change to the simulator's source) produces a new one.  The key is
+    what the on-disk store addresses results by, which is what makes
+    half-finished campaigns resumable: rerunning executes exactly the
+    keys the store does not hold.
+
+:func:`code_fingerprint`
+    A digest over every ``repro`` source file.  Simulations are
+    bit-deterministic for a *fixed* simulator, so cached results are
+    sound only until the code changes; folding the fingerprint into
+    every scenario key invalidates the entire store the moment any
+    source file differs.  ``REPRO_CAMPAIGN_FINGERPRINT`` overrides it
+    (tests use this; CI pins it to the commit's tree hash implicitly by
+    keying the store cache on ``hashFiles('src/**')``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+from pathlib import Path
+
+#: Cache for the computed source digest (the env override is consulted
+#: on every call so tests can swap fingerprints without reimporting).
+_source_digest: str | None = None
+
+
+def canonical_json(payload) -> str:
+    """The canonical encoding every hash and store record uses."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonicalize(params: dict) -> dict:
+    """Round-trip ``params`` through canonical JSON.
+
+    Normalizes tuples to lists and dict ordering, and rejects anything
+    not JSON-representable — a scenario that cannot be serialized cannot
+    be content-addressed or resumed.
+    """
+    return json.loads(canonical_json(params))
+
+
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package sources (or the env override)."""
+    override = os.environ.get("REPRO_CAMPAIGN_FINGERPRINT")
+    if override:
+        return override
+    global _source_digest
+    if _source_digest is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _source_digest = digest.hexdigest()[:16]
+    return _source_digest
+
+
+class ScenarioCase:
+    """One content-addressed unit of campaign work."""
+
+    __slots__ = ("kind", "params", "fingerprint", "key")
+
+    def __init__(self, kind: str, params: dict, fingerprint: str | None = None):
+        self.kind = kind
+        self.params = canonicalize(params)
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else code_fingerprint()
+        )
+        self.key = hashlib.sha256(
+            canonical_json(
+                {
+                    "fingerprint": self.fingerprint,
+                    "kind": self.kind,
+                    "params": self.params,
+                }
+            ).encode()
+        ).hexdigest()
+
+    def __repr__(self) -> str:
+        return f"ScenarioCase({self.kind!r}, key={self.key[:12]})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ScenarioCase) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+
+@dataclasses.dataclass
+class CampaignSpec:
+    """A declarative sweep: base params × axes, plus explicit cases.
+
+    ``axes`` is an ordered list of ``(name, values)`` pairs expanded as a
+    cross product in declaration order.  A dict-valued axis entry is
+    merged into the scenario params (the idiom for coupled fields such
+    as the legal ``(protocol, interconnect)`` pairs of the canonical
+    grid); a scalar entry is assigned to the axis name.  ``grid`` lists
+    fully-formed param documents for irregular sweeps (the figure
+    benches, whose variants do not factor into a clean product).
+    """
+
+    name: str
+    kind: str
+    base: dict = dataclasses.field(default_factory=dict)
+    axes: list[tuple[str, list]] = dataclasses.field(default_factory=list)
+    grid: list[dict] = dataclasses.field(default_factory=list)
+    #: Where the CLI keeps this campaign's store unless told otherwise.
+    default_store: str | None = None
+
+    def case_params(self) -> list[dict]:
+        """Every scenario's params, in deterministic declaration order."""
+        documents: list[dict] = []
+        if self.axes:
+            names = [name for name, _ in self.axes]
+            for combo in itertools.product(*(values for _, values in self.axes)):
+                params = dict(self.base)
+                for name, value in zip(names, combo):
+                    if isinstance(value, dict):
+                        params.update(value)
+                    else:
+                        params[name] = value
+                documents.append(params)
+        elif self.base and not self.grid:
+            documents.append(dict(self.base))
+        for params in self.grid:
+            merged = dict(self.base)
+            merged.update(params)
+            documents.append(merged)
+        return documents
+
+    def cases(self, fingerprint: str | None = None) -> list[ScenarioCase]:
+        """Deduplicated :class:`ScenarioCase` list (first occurrence wins)."""
+        seen: dict[str, ScenarioCase] = {}
+        for params in self.case_params():
+            case = ScenarioCase(self.kind, params, fingerprint=fingerprint)
+            seen.setdefault(case.key, case)
+        return list(seen.values())
+
+    def __len__(self) -> int:
+        return len(self.cases())
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "base": self.base,
+            "axes": [[name, values] for name, values in self.axes],
+            "grid": self.grid,
+            "default_store": self.default_store,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            base=dict(payload.get("base", {})),
+            axes=[(name, list(values)) for name, values in payload.get("axes", [])],
+            grid=[dict(params) for params in payload.get("grid", [])],
+            default_store=payload.get("default_store"),
+        )
+
+
+def union_cases(
+    specs, fingerprint: str | None = None
+) -> list[ScenarioCase]:
+    """Cases of several specs, deduplicated by key, spec order preserved."""
+    seen: dict[str, ScenarioCase] = {}
+    for spec in specs:
+        for case in spec.cases(fingerprint=fingerprint):
+            seen.setdefault(case.key, case)
+    return list(seen.values())

@@ -36,6 +36,7 @@ import dataclasses
 import json
 import sys
 import time
+from pathlib import Path
 
 from repro.config import SystemConfig
 from repro.system.builder import build_system
@@ -294,16 +295,32 @@ def scenario_grid(
     ]
 
 
-def explore(scenarios, progress=None) -> dict:
-    """Run ``scenarios``; return a report dict (violations listed)."""
-    started = time.perf_counter()
+#: --smoke seed count: both this module's CLI and the campaign preset's
+#: smoke mode sweep exactly this many seeds.
+SMOKE_SEEDS = 2
+
+
+def smoke_scenarios(scenarios) -> list[Scenario]:
+    """The CI-sized variant of a sweep: halved streams (min 8 ops)."""
+    return [
+        dataclasses.replace(s, ops_per_proc=max(8, s.ops_per_proc // 2))
+        for s in scenarios
+    ]
+
+
+def summarize(scenarios, outcomes) -> dict:
+    """Aggregate ``outcomes`` (parallel to ``scenarios``) into a report.
+
+    Pure function of its inputs — no timing, no ordering dependence on
+    *when* each outcome was produced — so a resumed campaign aggregates
+    byte-identically to an uninterrupted one.
+    """
     violations = []
     by_protocol: dict[str, int] = {}
     totals = {"persistent_requests": 0, "reissued_requests": 0,
               "dropped_requests": 0, "duplicated_requests": 0,
               "forced_escalations": 0, "events_fired": 0}
-    for index, scenario in enumerate(scenarios):
-        outcome = run_scenario(scenario)
+    for scenario, outcome in zip(scenarios, outcomes):
         key = f"{scenario.protocol}/{scenario.interconnect}"
         by_protocol[key] = by_protocol.get(key, 0) + 1
         totals["persistent_requests"] += outcome.persistent_requests
@@ -319,16 +336,103 @@ def explore(scenarios, progress=None) -> dict:
                     "violation_message": outcome.violation_message,
                 }
             )
-        if progress is not None:
-            progress(index, scenario, outcome)
     return {
         "scenarios": len(scenarios),
         "violations": violations,
         "violation_count": len(violations),
         "by_protocol": by_protocol,
         "totals": totals,
-        "elapsed_s": round(time.perf_counter() - started, 3),
     }
+
+
+def explore(scenarios, progress=None) -> dict:
+    """Run ``scenarios`` serially; return a report dict (violations listed)."""
+    started = time.perf_counter()
+    outcomes = []
+    for index, scenario in enumerate(scenarios):
+        outcome = run_scenario(scenario)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(index, scenario, outcome)
+    report = summarize(scenarios, outcomes)
+    report["elapsed_s"] = round(time.perf_counter() - started, 3)
+    return report
+
+
+def explore_campaign(
+    scenarios, jobs=None, store_dir=None, progress=None
+) -> dict:
+    """Run ``scenarios`` through the campaign runner (the ``--jobs`` path).
+
+    Results are content-addressed in a :class:`CampaignStore`, so a
+    killed sweep resumed against the same ``store_dir`` executes only
+    the missing scenarios; the aggregate (everything but ``elapsed_s``
+    and the ``campaign`` execution counters) is byte-identical to an
+    uninterrupted run and is written to ``<store_dir>/aggregate.json``.
+    With no ``store_dir`` the store is a throwaway temp directory.
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import ScenarioCase
+    from repro.campaign.store import CampaignStore
+
+    started = time.perf_counter()
+    cases = [ScenarioCase("explore", s.to_dict()) for s in scenarios]
+    index_by_key = {case.key: i for i, case in enumerate(cases)}
+    temp_root = None
+    if store_dir is None:
+        temp_root = tempfile.mkdtemp(prefix="explore-campaign-")
+        store_dir = temp_root
+    try:
+        store = CampaignStore(store_dir)
+
+        def campaign_progress(done, total, case, ok, error):
+            # Worker results are not visible to the parent store until
+            # the pool drains, so completion ticks carry no outcome;
+            # violations are summarized from the store afterwards.
+            if progress is not None:
+                progress(index_by_key[case.key], scenarios[index_by_key[case.key]], None)
+
+        report_run = run_campaign(
+            cases, store, jobs=jobs, progress=campaign_progress
+        )
+        if report_run.failures:
+            raise RuntimeError(
+                f"{len(report_run.failures)} scenario executors failed: "
+                f"{report_run.failures[:3]}"
+            )
+        try:
+            outcomes = [
+                ScenarioOutcome(**store.get(case.key)["result"])
+                for case in cases
+            ]
+        except (TypeError, ValueError, KeyError) as exc:
+            # Only reachable with a pinned REPRO_CAMPAIGN_FINGERPRINT
+            # across an outcome-schema change; name the store instead
+            # of dying on a raw constructor error.
+            raise RuntimeError(
+                f"store {store.root} holds records that do not match the "
+                f"current ScenarioOutcome schema ({exc}); clear the store "
+                "or unpin REPRO_CAMPAIGN_FINGERPRINT"
+            ) from None
+        report = summarize(scenarios, outcomes)
+        if temp_root is None:
+            aggregate_path = Path(store_dir) / "aggregate.json"
+            aggregate_path.write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+        report["elapsed_s"] = round(time.perf_counter() - started, 3)
+        report["campaign"] = {
+            "executed": report_run.executed,
+            "cached": report_run.cached,
+            "store": None if temp_root is not None else str(store_dir),
+        }
+        return report
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
 
 
 # ----------------------------------------------------------------------
@@ -352,6 +456,15 @@ def _parse_args(argv):
                         help="comma-separated adversarial workload subset")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized sweep (2 seeds, shorter streams)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes via the campaign runner "
+                             "(default 1 = the deterministic serial loop; "
+                             "0 = one per core)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="campaign store directory: results are "
+                             "content-addressed there and a killed sweep "
+                             "resumes from it (implies the campaign path "
+                             "even with --jobs 1)")
     parser.add_argument("--out", default=None,
                         help="write the JSON report here")
     parser.add_argument("--repro-out", default="repro_failure.json",
@@ -376,24 +489,38 @@ def main(argv=None) -> int:
         print("REPRODUCED" if reproduced else "DID NOT REPRODUCE")
         return 0 if reproduced else 1
 
-    seeds = range(args.seed_base, args.seed_base + (2 if args.smoke else args.seeds))
+    seeds = range(
+        args.seed_base,
+        args.seed_base + (SMOKE_SEEDS if args.smoke else args.seeds),
+    )
     protocols = tuple(p for p in args.protocols.split(",") if p)
     workloads = tuple(w for w in args.workloads.split(",") if w)
     scenarios = scenario_grid(seeds, protocols, workloads)
     if args.smoke:
-        scenarios = [
-            dataclasses.replace(s, ops_per_proc=max(8, s.ops_per_proc // 2))
-            for s in scenarios
-        ]
+        scenarios = smoke_scenarios(scenarios)
 
     def progress(index, scenario, outcome):
         if args.quiet:
             return
-        status = "ok" if outcome.ok else f"VIOLATION({outcome.violation_type})"
+        if outcome is None:  # campaign completion tick (outcome on disk)
+            status = "done"
+        else:
+            status = "ok" if outcome.ok else f"VIOLATION({outcome.violation_type})"
         print(f"[{index + 1:>4}/{len(scenarios)}] {scenario.label()}: {status}",
               flush=True)
 
-    report = explore(scenarios, progress=progress)
+    if args.jobs != 1 or args.store is not None:
+        jobs = None if args.jobs == 0 else args.jobs
+        report = explore_campaign(
+            scenarios, jobs=jobs, store_dir=args.store, progress=progress
+        )
+        if not args.quiet and report.get("campaign"):
+            info = report["campaign"]
+            print(f"campaign: {info['executed']} executed, "
+                  f"{info['cached']} cached"
+                  + (f" -> {info['store']}" if info["store"] else ""))
+    else:
+        report = explore(scenarios, progress=progress)
     print(
         f"\n{report['scenarios']} scenarios, "
         f"{report['violation_count']} violations, "

@@ -71,3 +71,53 @@ def test_traffic_ratio():
     a = make_result(bpm_bytes={"data": 7200})
     b = make_result(bpm_bytes={"data": 3600})
     assert traffic_ratio(a, b) == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Campaign-store rendering
+# ----------------------------------------------------------------------
+
+
+def _mini_series():
+    """A two-variant figure over tiny real simulate params."""
+    import dataclasses
+
+    from repro.workloads import COMMERCIAL_WORKLOADS
+
+    def params(protocol):
+        return {
+            "workload": dataclasses.asdict(COMMERCIAL_WORKLOADS["apache"]),
+            "ops_per_proc": 20,
+            "config": {"protocol": protocol, "interconnect": "torus",
+                       "n_procs": 2},
+        }
+
+    return [{
+        "figure": "mini",
+        "title": "Mini figure",
+        "render": "runtime",
+        "baseline": "TokenB",
+        "data": {"apache": {"TokenB": params("tokenb"),
+                            "Directory": params("directory")}},
+    }]
+
+
+def test_render_figures_from_store(tmp_path):
+    from repro.analysis.report import MissingResults, render_figures_from_store
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec
+    from repro.campaign.store import CampaignStore
+
+    series = _mini_series()
+    store = CampaignStore(tmp_path)
+    with pytest.raises(MissingResults, match="no result"):
+        render_figures_from_store(store, series=series)
+
+    grid = [p for s in series for v in s["data"].values() for p in v.values()]
+    run_campaign(CampaignSpec("mini", "simulate", grid=grid), store, jobs=1)
+    text = render_figures_from_store(store, series=series)
+    assert "Mini figure" in text
+    assert "TokenB" in text and "Directory" in text and "cyc/txn" in text
+
+    assert render_figures_from_store(store, series=series, only=()) is None
+    assert render_figures_from_store(store, series=series, only=("mini",))

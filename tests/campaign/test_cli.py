@@ -1,0 +1,101 @@
+"""CLI: run/status/report round trips, --expect-cached, spec files."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign.cli import EXIT_NOT_CACHED, main
+from repro.workloads import COMMERCIAL_WORKLOADS
+
+
+@pytest.fixture()
+def mini_spec_file(tmp_path):
+    """A two-scenario simulate spec serialized the way the CLI loads it."""
+    grid = [
+        {
+            "workload": dataclasses.asdict(COMMERCIAL_WORKLOADS["apache"]),
+            "ops_per_proc": 20,
+            "config": {"protocol": protocol, "interconnect": "torus",
+                       "n_procs": 2},
+        }
+        for protocol in ("tokenb", "directory")
+    ]
+    path = tmp_path / "mini.json"
+    path.write_text(json.dumps(
+        {"name": "mini", "kind": "simulate", "grid": grid}
+    ))
+    return str(path)
+
+
+def test_run_status_report_cycle(mini_spec_file, tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "2 executed, 0 cached" in out
+
+    assert main(["status", "--spec", mini_spec_file, "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "2 complete, 0 missing" in out
+
+    assert main(["report", "--spec", mini_spec_file, "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "tokenb" in out and "directory" in out and "cyc/txn" in out
+
+
+def test_expect_cached_asserts_full_store_hit(mini_spec_file, tmp_path, capsys):
+    store = str(tmp_path / "store")
+    # Cold store: --expect-cached must fail loudly...
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q", "--expect-cached"]) == EXIT_NOT_CACHED
+    capsys.readouterr()
+    # ...and a second run is a 100% hit.
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q", "--expect-cached"]) == 0
+    assert "100% store hit" in capsys.readouterr().out
+
+
+def test_report_names_missing_scenarios(mini_spec_file, tmp_path, capsys):
+    assert main(["report", "--spec", mini_spec_file,
+                 "--store", str(tmp_path / "empty")]) == 1
+    assert "missing" in capsys.readouterr().out
+
+
+def test_unknown_spec_is_rejected():
+    with pytest.raises(SystemExit, match="unknown spec"):
+        main(["run", "--spec", "nope"])
+
+
+def test_explore_spec_violations_exit_nonzero(tmp_path, capsys):
+    """Recorded oracle violations surface through the run exit code."""
+    grid = [{
+        "seed": 0, "protocol": "null-token", "interconnect": "torus",
+        "workload": "false_sharing", "ops_per_proc": 8,
+        "mutant": "no-escalation",
+    }]
+    spec = tmp_path / "bad.json"
+    spec.write_text(json.dumps({"name": "bad", "kind": "explore", "grid": grid}))
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", str(spec), "--store", store,
+                 "--jobs", "1", "-q"]) == 1
+    assert "DeadlockError" in capsys.readouterr().out
+    # The violating record is cached data: the rerun replays it.
+    assert main(["run", "--spec", str(spec), "--store", store,
+                 "--jobs", "1", "-q", "--expect-cached"]) == 1
+
+
+def test_differential_report_renders_agreement(tmp_path, capsys):
+    grid = [{"workload": "false_sharing", "seed": 0,
+             "n_procs": 2, "ops_per_proc": 8}]
+    spec = tmp_path / "diff.json"
+    spec.write_text(json.dumps(
+        {"name": "diff", "kind": "differential", "grid": grid}
+    ))
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", str(spec), "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    capsys.readouterr()
+    assert main(["report", "--spec", str(spec), "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "agreed" in out and "0 disagreements" in out

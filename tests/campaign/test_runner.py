@@ -1,0 +1,155 @@
+"""Runner semantics: incremental resume, parallel == serial, failures."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import executors
+from repro.campaign.runner import resolve_jobs, run_campaign
+from repro.campaign.spec import CampaignSpec, ScenarioCase
+from repro.campaign.store import CampaignStore, make_record
+from repro.workloads import COMMERCIAL_WORKLOADS
+
+#: A tiny but real simulate case: 2 processors, short streams.
+def _sim_params(protocol: str, seed_ops: int = 20) -> dict:
+    return {
+        "workload": dataclasses.asdict(COMMERCIAL_WORKLOADS["apache"]),
+        "ops_per_proc": seed_ops,
+        "config": {
+            "protocol": protocol,
+            "interconnect": "torus" if protocol != "snooping" else "tree",
+            "n_procs": 2,
+        },
+    }
+
+
+def _tiny_spec(n: int = 3) -> CampaignSpec:
+    protocols = ["tokenb", "directory", "hammer", "null-token"]
+    return CampaignSpec(
+        name="tiny", kind="simulate",
+        grid=[_sim_params(protocols[i % len(protocols)], 20 + i) for i in range(n)],
+    )
+
+
+def test_serial_run_then_full_cache_hit(tmp_path):
+    spec = _tiny_spec(3)
+    store = CampaignStore(tmp_path)
+    first = run_campaign(spec, store, jobs=1)
+    assert (first.total, first.executed, first.cached) == (3, 3, 0)
+    assert first.ok
+
+    second = run_campaign(spec, CampaignStore(tmp_path), jobs=1)
+    assert (second.total, second.executed, second.cached) == (3, 0, 3)
+
+
+def test_killed_campaign_resumes_only_missing_and_matches_uninterrupted(tmp_path):
+    """The acceptance shape: partial store + torn line -> rerun executes
+    exactly the missing scenarios and the stores end byte-identical."""
+    spec = _tiny_spec(4)
+    cases = spec.cases()
+
+    uninterrupted = CampaignStore(tmp_path / "full")
+    run_campaign(spec, uninterrupted, jobs=1)
+
+    # "Killed" run: two scenarios recorded, a third torn mid-write.
+    killed = CampaignStore(tmp_path / "killed")
+    run_campaign(cases[:2], killed, jobs=1)
+    torn = make_record(cases[2], {"unfinished": True})
+    from repro.campaign.spec import canonical_json
+
+    with open(killed.pending_path("worker-dead"), "w") as fh:
+        fh.write(canonical_json(torn)[:40])
+
+    resumed = CampaignStore(tmp_path / "killed")
+    report = run_campaign(spec, resumed, jobs=1)
+    assert report.executed == 2  # the torn scenario and the never-run one
+    assert report.cached == 2
+
+    files_full = {
+        p.name: p.read_bytes() for p in (tmp_path / "full").glob("*.jsonl")
+    }
+    files_resumed = {
+        p.name: p.read_bytes() for p in (tmp_path / "killed").glob("*.jsonl")
+    }
+    assert files_full == files_resumed
+
+
+def test_parallel_run_matches_serial_records(tmp_path):
+    spec = _tiny_spec(4)
+    serial = CampaignStore(tmp_path / "serial")
+    run_campaign(spec, serial, jobs=1)
+    parallel = CampaignStore(tmp_path / "parallel")
+    report = run_campaign(spec, parallel, jobs=2)
+    assert report.executed == 4
+    by_key_serial = {r["key"]: r for r in serial.records()}
+    by_key_parallel = {r["key"]: r for r in parallel.records()}
+    assert by_key_serial == by_key_parallel
+
+
+def test_executor_failure_is_reported_and_retried(tmp_path, monkeypatch):
+    calls = {"n": 0}
+
+    def flaky(params):
+        calls["n"] += 1
+        if params.get("explode"):
+            raise RuntimeError("boom")
+        return {"ok": True}
+
+    monkeypatch.setitem(executors.EXECUTORS, "flaky", flaky)
+    good = ScenarioCase("flaky", {"explode": False}, fingerprint="fp")
+    bad = ScenarioCase("flaky", {"explode": True}, fingerprint="fp")
+    store = CampaignStore(tmp_path)
+
+    report = run_campaign([good, bad], store, jobs=1)
+    assert report.executed == 1
+    assert len(report.failures) == 1
+    assert "boom" in report.failures[0]["error"]
+    assert not report.ok
+    # The failed case was not recorded: a rerun retries it (and only it).
+    retry = run_campaign([good, bad], CampaignStore(tmp_path), jobs=1)
+    assert retry.cached == 1
+    assert len(retry.failures) == 1
+    assert calls["n"] == 3
+
+
+def test_progress_ticks_start_at_cached_count(tmp_path):
+    spec = _tiny_spec(3)
+    store = CampaignStore(tmp_path)
+    run_campaign(spec.cases()[:1], store, jobs=1)
+
+    ticks = []
+    run_campaign(
+        spec,
+        CampaignStore(tmp_path),
+        jobs=1,
+        progress=lambda done, total, case, ok, error: ticks.append(
+            (done, total, ok)
+        ),
+    )
+    assert ticks == [(2, 3, True), (3, 3, True)]
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1, 100) == 1
+    assert resolve_jobs(8, 3) == 3
+    assert resolve_jobs(None, 0) == 1
+    import os
+
+    assert resolve_jobs(None, 64) == min(os.cpu_count() or 1, 64)
+
+
+def test_explore_kind_records_violations_as_data(tmp_path):
+    """Oracle violations are results, not failures — they cache too."""
+    # The known-violating scenario from the explorer's own test suite.
+    scenario = {
+        "seed": 0, "protocol": "null-token", "interconnect": "torus",
+        "workload": "false_sharing", "ops_per_proc": 8,
+        "mutant": "no-escalation",
+    }
+    case = ScenarioCase("explore", scenario)
+    store = CampaignStore(tmp_path)
+    report = run_campaign([case], store, jobs=1)
+    assert report.ok and report.executed == 1
+    result = store.result_for(case)
+    assert result["ok"] is False
+    assert result["violation_type"] == "DeadlockError"

@@ -1,0 +1,118 @@
+"""Scenario identity: content hashing, fingerprints, spec expansion."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    ScenarioCase,
+    code_fingerprint,
+    union_cases,
+)
+
+
+def test_case_key_stable_across_construction_order():
+    a = ScenarioCase("simulate", {"x": 1, "y": [1, 2], "z": {"b": 2, "a": 1}})
+    b = ScenarioCase("simulate", {"z": {"a": 1, "b": 2}, "y": (1, 2), "x": 1})
+    assert a.key == b.key
+    assert a == b
+    assert a.params == b.params  # tuples normalized to lists
+
+
+def test_case_key_distinguishes_kind_and_params():
+    base = ScenarioCase("simulate", {"x": 1})
+    assert ScenarioCase("explore", {"x": 1}).key != base.key
+    assert ScenarioCase("simulate", {"x": 2}).key != base.key
+
+
+def test_case_key_survives_json_roundtrip():
+    import json
+
+    case = ScenarioCase("simulate", {"cfg": {"bw": 3.2, "dl": None}})
+    reloaded = ScenarioCase(
+        case.kind, json.loads(json.dumps(case.params)), fingerprint=case.fingerprint
+    )
+    assert reloaded.key == case.key
+
+
+def test_case_rejects_unserializable_params():
+    with pytest.raises(TypeError):
+        ScenarioCase("simulate", {"bad": {1, 2}})
+
+
+def test_fingerprint_env_override_rekeys_everything(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp-one")
+    one = ScenarioCase("simulate", {"x": 1})
+    assert code_fingerprint() == "fp-one"
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp-two")
+    two = ScenarioCase("simulate", {"x": 1})
+    assert one.params == two.params
+    assert one.key != two.key
+
+
+def test_fingerprint_is_stable_within_a_version(monkeypatch):
+    monkeypatch.delenv("REPRO_CAMPAIGN_FINGERPRINT", raising=False)
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 16
+
+
+def test_spec_axes_cross_product_in_declaration_order():
+    spec = CampaignSpec(
+        name="t",
+        kind="simulate",
+        base={"common": True},
+        axes=[
+            ("grid", [{"protocol": "tokenb", "interconnect": "torus"},
+                      {"protocol": "snooping", "interconnect": "tree"}]),
+            ("seed", [0, 1]),
+        ],
+    )
+    params = spec.case_params()
+    assert len(params) == 4
+    assert params[0] == {
+        "common": True, "protocol": "tokenb", "interconnect": "torus", "seed": 0,
+    }
+    # Last axis varies fastest; dict-valued axis entries merge.
+    assert [p["seed"] for p in params] == [0, 1, 0, 1]
+    assert params[2]["protocol"] == "snooping"
+
+
+def test_spec_grid_entries_merge_over_base():
+    spec = CampaignSpec(
+        name="t", kind="simulate", base={"a": 1, "b": 2}, grid=[{"b": 3}, {"c": 4}]
+    )
+    assert spec.case_params() == [{"a": 1, "b": 3}, {"a": 1, "b": 2, "c": 4}]
+
+
+def test_spec_cases_dedup_and_roundtrip(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp")
+    spec = CampaignSpec(
+        name="t", kind="simulate", grid=[{"x": 1}, {"x": 1}, {"x": 2}]
+    )
+    cases = spec.cases()
+    assert len(cases) == 2
+    reloaded = CampaignSpec.from_dict(spec.to_dict())
+    assert [c.key for c in reloaded.cases()] == [c.key for c in cases]
+    assert reloaded.to_dict() == spec.to_dict()
+
+
+def test_union_cases_preserves_first_occurrence(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp")
+    a = CampaignSpec(name="a", kind="simulate", grid=[{"x": 1}, {"x": 2}])
+    b = CampaignSpec(name="b", kind="simulate", grid=[{"x": 2}, {"x": 3}])
+    union = union_cases([a, b])
+    assert [c.params["x"] for c in union] == [1, 2, 3]
+
+
+def test_presets_declare_expected_scales():
+    from repro.campaign import presets
+
+    figures = presets.figures_spec()
+    assert figures.kind == "simulate"
+    # 45 historic standard-grid cases plus the ablation variants.
+    assert len(figures.cases()) >= 45
+    explorer = presets.explorer_spec(seeds=2)
+    # 2 seeds x 9 legal grid points x 4 adversarial workloads.
+    assert len(explorer.cases()) == 72
+    differential = presets.differential_spec(seeds=3)
+    assert len(differential.cases()) == 12
+    assert len(presets.smoke_spec().cases()) == 6

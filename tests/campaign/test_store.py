@@ -1,0 +1,192 @@
+"""Store durability: shards, torn-line recovery, compaction, staleness."""
+
+import json
+from pathlib import Path
+
+from repro.campaign.spec import ScenarioCase, canonical_json
+from repro.campaign.store import CampaignStore, make_record
+
+
+def _case(i: int, fingerprint: str = "fp-test") -> ScenarioCase:
+    return ScenarioCase("test", {"i": i}, fingerprint=fingerprint)
+
+
+def _record(case: ScenarioCase) -> dict:
+    return make_record(case, {"value": case.params["i"] * 2})
+
+
+def test_append_load_roundtrip(tmp_path):
+    store = CampaignStore(tmp_path)
+    cases = [_case(i) for i in range(5)]
+    for case in cases:
+        store.append(_record(case), stream="serial")
+    store.close()
+
+    fresh = CampaignStore(tmp_path)
+    assert len(fresh) == 5
+    assert fresh.missing(cases) == []
+    assert fresh.result_for(cases[3]) == {"value": 6}
+    assert fresh.get(cases[0].key)["params"] == {"i": 0}
+
+
+def test_missing_reports_unexecuted_cases(tmp_path):
+    store = CampaignStore(tmp_path)
+    cases = [_case(i) for i in range(4)]
+    store.append(_record(cases[0]))
+    store.append(_record(cases[2]))
+    assert [c.params["i"] for c in store.missing(cases)] == [1, 3]
+
+
+def test_torn_trailing_line_is_skipped_and_recomputable(tmp_path):
+    """A killed writer's partial append reads as a missing scenario."""
+    store = CampaignStore(tmp_path)
+    cases = [_case(i) for i in range(3)]
+    store.append(_record(cases[0]), stream="w1")
+    store.append(_record(cases[1]), stream="w1")
+    store.close()
+    # Simulate the kill: half of case 2's record at the end of the file.
+    line = canonical_json(_record(cases[2]))
+    with open(store.pending_path("w1"), "a") as fh:
+        fh.write(line[: len(line) // 2])
+
+    fresh = CampaignStore(tmp_path)
+    fresh.load()
+    assert fresh.corrupt_lines == 1
+    assert len(fresh) == 2
+    assert [c.params["i"] for c in fresh.missing(cases)] == [2]
+    assert fresh.stats()["corrupt_lines"] == 1
+
+
+def test_compacted_store_bytes_are_history_independent(tmp_path):
+    """Same record set -> identical shard bytes, regardless of how many
+    writers, interruptions, or orderings produced it."""
+    cases = [_case(i) for i in range(8)]
+
+    a = CampaignStore(tmp_path / "a")
+    for case in cases:
+        a.append(_record(case), stream="serial")
+    a.compact()
+
+    b = CampaignStore(tmp_path / "b")
+    for index, case in enumerate(reversed(cases)):
+        b.append(_record(case), stream=f"w{index % 3}")
+    b.compact()
+
+    files_a = {p.name: p.read_bytes() for p in (tmp_path / "a").glob("*.jsonl")}
+    files_b = {p.name: p.read_bytes() for p in (tmp_path / "b").glob("*.jsonl")}
+    assert files_a == files_b
+    assert not list((tmp_path / "a").glob("pending-*.jsonl"))
+    meta = json.loads((tmp_path / "a" / "meta.json").read_text())
+    assert meta["n_shards"] == a.n_shards
+
+
+def test_compact_merges_pending_from_other_writers(tmp_path):
+    """Compaction folds in records a different process appended."""
+    writer = CampaignStore(tmp_path)
+    writer.append(_record(_case(0)), stream="worker-123")
+    writer.close()
+
+    parent = CampaignStore(tmp_path)
+    parent.append(_record(_case(1)), stream="serial")
+    parent.compact()
+    assert len(parent) == 2
+    assert not list(Path(tmp_path).glob("pending-*.jsonl"))
+
+
+def test_compact_spares_a_live_writers_pending_file(tmp_path):
+    """A concurrent writer's open stream is folded but never unlinked,
+    so records it appends after another campaign's compact survive."""
+    live = CampaignStore(tmp_path)
+    live.append(_record(_case(0)), stream="worker-live")  # holds the lock
+
+    other = CampaignStore(tmp_path)
+    other.append(_record(_case(1)), stream="serial")
+    other.compact()
+    assert len(other) == 2  # the live record was folded...
+    assert live.pending_path("worker-live").exists()  # ...but not deleted
+
+    live.append(_record(_case(2)), stream="worker-live")
+    live.close()
+    fresh = CampaignStore(tmp_path)
+    assert len(fresh) == 3  # nothing lost
+    fresh.compact()
+    assert not list(Path(tmp_path).glob("pending-*.jsonl"))
+
+
+def test_same_stream_name_from_two_writers_does_not_collide(tmp_path):
+    """Two live writers using the same stream name get distinct files,
+    so neither can have its records compacted away mid-write."""
+    a = CampaignStore(tmp_path)
+    a.append(_record(_case(0)), stream="serial")
+    b = CampaignStore(tmp_path)
+    b.append(_record(_case(1)), stream="serial")  # falls back to unique
+    assert len(list(Path(tmp_path).glob("pending-serial*.jsonl"))) == 2
+
+    a.compact()  # b's stream is live: folded, not unlinked
+    b.append(_record(_case(2)), stream="serial")
+    b.close()
+    assert len(CampaignStore(tmp_path)) == 3  # nothing lost
+
+
+def test_fingerprint_change_invalidates_every_scenario(tmp_path):
+    store = CampaignStore(tmp_path)
+    old = [_case(i, fingerprint="fp-old") for i in range(3)]
+    for case in old:
+        store.append(_record(case))
+    assert store.missing(old) == []
+
+    # Same params, new code fingerprint: all keys differ, all missing.
+    new = [_case(i, fingerprint="fp-new") for i in range(3)]
+    assert len(store.missing(new)) == 3
+    assert len(store.stale_records(fingerprint="fp-new")) == 3
+    assert store.stale_records(fingerprint="fp-old") == []
+
+    store.compact(prune_stale=False)
+    assert len(CampaignStore(tmp_path)) == 3
+
+
+def test_compact_prune_stale_drops_old_fingerprints(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp-new")
+    store = CampaignStore(tmp_path)
+    store.append(_record(_case(0, fingerprint="fp-old")))
+    store.append(_record(_case(1, fingerprint="fp-new")))
+    store.compact(prune_stale=True)
+    fresh = CampaignStore(tmp_path)
+    assert len(fresh) == 1
+    assert fresh.records()[0]["fingerprint"] == "fp-new"
+
+
+def test_reopen_adopts_stored_shard_count(tmp_path):
+    """meta.json's n_shards survives default reopens, keeping a
+    non-default layout byte-stable across compactions."""
+    store = CampaignStore(tmp_path, n_shards=4)
+    for i in range(6):
+        store.append(_record(_case(i)))
+    store.compact()
+    shards_before = sorted(p.name for p in tmp_path.glob("shard-*.jsonl"))
+
+    reopened = CampaignStore(tmp_path)  # no explicit n_shards
+    assert reopened.n_shards == 4
+    reopened.append(_record(_case(6)))
+    reopened.compact()
+    assert sorted(
+        p.name for p in tmp_path.glob("shard-*.jsonl")
+    ) >= shards_before  # same 4-shard namespace, never re-sharded to 16
+    assert all(
+        int(p.name[len("shard-"):len("shard-") + 2]) < 4
+        for p in tmp_path.glob("shard-*.jsonl")
+    )
+
+
+def test_dirty_tracks_uncompacted_data(tmp_path):
+    store = CampaignStore(tmp_path)
+    assert not store.dirty
+    store.append(_record(_case(0)))
+    assert store.dirty
+    store.compact()
+    assert not store.dirty
+    # Pending files left by another (killed) writer also count as dirty.
+    other = CampaignStore(tmp_path)
+    other.append(_record(_case(1)), stream="worker-9")
+    other.close()
+    assert CampaignStore(tmp_path).dirty

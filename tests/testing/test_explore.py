@@ -9,10 +9,12 @@ from repro.system.grid import protocol_grid
 from repro.testing.explore import (
     Scenario,
     explore,
+    explore_campaign,
     main,
     make_scenario,
     run_scenario,
     scenario_grid,
+    summarize,
 )
 from repro.testing.perturb import PerturbSpec
 from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
@@ -84,6 +86,71 @@ def test_explore_lists_violations_with_their_scenarios():
 
 
 # ----------------------------------------------------------------------
+# Campaign path (--jobs / --store)
+# ----------------------------------------------------------------------
+
+
+def _aggregate(report: dict) -> dict:
+    """The deterministic part of a report (no wall times or hit counts)."""
+    return {k: v for k, v in report.items()
+            if k not in ("elapsed_s", "campaign")}
+
+
+def test_explore_campaign_matches_serial_sweep(tmp_path):
+    scenarios = scenario_grid(
+        seeds=[0], protocols=("null-token",), workloads=("false_sharing",)
+    )
+    serial = explore(scenarios)
+    parallel = explore_campaign(
+        scenarios, jobs=2, store_dir=str(tmp_path / "store")
+    )
+    assert _aggregate(parallel) == _aggregate(serial)
+    assert parallel["campaign"]["executed"] == len(scenarios)
+
+
+def test_explore_campaign_resume_is_byte_identical(tmp_path):
+    """Kill a campaign mid-run, rerun: only missing scenarios execute and
+    the written aggregate is byte-identical to an uninterrupted run."""
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import ScenarioCase
+    from repro.campaign.store import CampaignStore
+
+    scenarios = scenario_grid(
+        seeds=[0, 1], protocols=("null-token",), workloads=("false_sharing",)
+    )
+    uninterrupted = explore_campaign(
+        scenarios, jobs=1, store_dir=str(tmp_path / "full")
+    )
+
+    # "Kill" a second campaign after half the scenarios.
+    cases = [ScenarioCase("explore", s.to_dict()) for s in scenarios]
+    killed = CampaignStore(tmp_path / "killed")
+    run_campaign(cases[: len(cases) // 2], killed, jobs=1)
+
+    resumed = explore_campaign(
+        scenarios, jobs=1, store_dir=str(tmp_path / "killed")
+    )
+    assert resumed["campaign"]["executed"] == len(cases) - len(cases) // 2
+    assert resumed["campaign"]["cached"] == len(cases) // 2
+    assert _aggregate(resumed) == _aggregate(uninterrupted)
+    assert (
+        (tmp_path / "killed" / "aggregate.json").read_bytes()
+        == (tmp_path / "full" / "aggregate.json").read_bytes()
+    )
+
+
+def test_summarize_is_pure_and_order_stable():
+    scenarios = scenario_grid(
+        seeds=[0], protocols=("null-token",), workloads=("false_sharing",)
+    )
+    outcomes = [run_scenario(s) for s in scenarios]
+    assert summarize(scenarios, outcomes) == summarize(scenarios, outcomes)
+    report = summarize(scenarios, outcomes)
+    assert "elapsed_s" not in report
+    assert report["scenarios"] == len(scenarios)
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 
@@ -98,6 +165,31 @@ def test_cli_sweep_writes_report_and_exits_zero(tmp_path):
     report = json.loads(out.read_text())
     assert report["scenarios"] == 2  # tokenb on torus and tree
     assert report["violation_count"] == 0
+
+
+def test_cli_jobs_flag_routes_through_campaign(tmp_path):
+    out = tmp_path / "report.json"
+    store = tmp_path / "store"
+    code = main([
+        "--seeds", "1", "--protocols", "null-token",
+        "--workloads", "false_sharing", "--quiet",
+        "--jobs", "2", "--store", str(store), "--out", str(out),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["scenarios"] == 2
+    assert report["campaign"]["executed"] == 2
+    assert (store / "aggregate.json").exists()
+    # Rerun resumes from the store: everything cached.
+    assert main([
+        "--seeds", "1", "--protocols", "null-token",
+        "--workloads", "false_sharing", "--quiet",
+        "--jobs", "2", "--store", str(store), "--out", str(out),
+    ]) == 0
+    report = json.loads(out.read_text())
+    assert report["campaign"] == {
+        "executed": 0, "cached": 2, "store": str(store),
+    }
 
 
 def test_cli_clean_sweep_writes_no_repro(tmp_path):
