@@ -18,12 +18,11 @@ each on the OLTP model:
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import ensure, pct_faster, run
+from benchmarks.common import declared_spec, ensure, pct_faster, run
 from repro import OLTP, SystemConfig
-from repro.campaign.presets import ablations_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = ablations_spec()
+CAMPAIGN_SPEC = declared_spec("ablations")
 
 
 def _run(bandwidth=3.2, **overrides):

@@ -18,13 +18,12 @@ if __package__ in (None, ""):
 
 import pytest
 
-from benchmarks.common import ensure, pct_faster, run, workloads
+from benchmarks.common import declared_spec, ensure, pct_faster, run, workloads
 from repro import SystemConfig
 from repro.analysis.report import format_runtime_bars
-from repro.campaign.presets import fig4a_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = fig4a_spec()
+CAMPAIGN_SPEC = declared_spec("fig4a")
 
 
 def _collect():

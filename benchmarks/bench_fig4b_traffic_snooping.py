@@ -11,12 +11,11 @@ and dataless-token overheads.
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import ensure, run, workloads
+from benchmarks.common import declared_spec, ensure, run, workloads
 from repro.analysis.report import format_traffic_bars
-from repro.campaign.presets import fig4b_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = fig4b_spec()
+CAMPAIGN_SPEC = declared_spec("fig4b")
 
 
 def _collect():

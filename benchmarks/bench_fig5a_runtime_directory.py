@@ -20,12 +20,11 @@ Paper claims reproduced as shape assertions:
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import ensure, pct_faster, run, workloads
+from benchmarks.common import declared_spec, ensure, pct_faster, run, workloads
 from repro.analysis.report import format_runtime_bars
-from repro.campaign.presets import fig5a_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = fig5a_spec()
+CAMPAIGN_SPEC = declared_spec("fig5a")
 
 
 def _collect():

@@ -15,12 +15,11 @@ Paper claims reproduced as shape assertions:
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import ensure, run, workloads
+from benchmarks.common import declared_spec, ensure, run, workloads
 from repro.analysis.report import format_traffic_bars
-from repro.campaign.presets import fig5b_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = fig5b_spec()
+CAMPAIGN_SPEC = declared_spec("fig5b")
 
 
 def _collect():

@@ -13,12 +13,11 @@ traffic measurement, no queueing).
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import ensure, run
-from repro.campaign.presets import q5_spec
+from benchmarks.common import declared_spec, ensure, run
 from repro.workloads.microbench import contended_sharing_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = q5_spec()
+CAMPAIGN_SPEC = declared_spec("q5")
 
 
 def _collect():

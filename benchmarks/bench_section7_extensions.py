@@ -19,12 +19,11 @@ the decoupling claim made measurable.
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import ensure, run, workloads
+from benchmarks.common import declared_spec, ensure, run, workloads
 from repro.analysis.report import format_runtime_bars, format_traffic_bars
-from repro.campaign.presets import section7_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = section7_spec()
+CAMPAIGN_SPEC = declared_spec("section7")
 
 
 def _collect():

@@ -18,12 +18,11 @@ reissue, and well under 1% fall back to persistent requests.
 if __package__ in (None, ""):
     import _bootstrap  # noqa: F401
 
-from benchmarks.common import ensure, run, workloads
+from benchmarks.common import declared_spec, ensure, run, workloads
 from repro.analysis.report import format_table2
-from repro.campaign.presets import table2_spec
 
 #: The data points this bench declares (run via the campaign runner).
-CAMPAIGN_SPEC = table2_spec()
+CAMPAIGN_SPEC = declared_spec("table2")
 
 
 def _collect():

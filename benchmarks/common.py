@@ -170,6 +170,19 @@ def prewarm(max_workers: int | None = None) -> int:
     return ensure(figures_spec(), max_workers=max_workers)
 
 
+def declared_spec(name: str) -> CampaignSpec:
+    """The campaign spec a bench declares, resolved from the presets.
+
+    The one home for the ``CAMPAIGN_SPEC = <preset>_spec()`` boilerplate
+    every figure bench used to restate (a preset import plus a builder
+    call per module): benches write
+    ``CAMPAIGN_SPEC = declared_spec("fig4a")``.
+    """
+    from repro.campaign.presets import SPEC_BUILDERS
+
+    return SPEC_BUILDERS[name]()
+
+
 def workloads() -> dict[str, WorkloadSpec]:
     from repro import COMMERCIAL_WORKLOADS
 

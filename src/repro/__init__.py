@@ -17,11 +17,15 @@ Public surface:
 * Workloads: :data:`OLTP`, :data:`APACHE`, :data:`SPECJBB`,
   :class:`WorkloadSpec`, and the Question 5 microbenchmarks.
 * The Token Coherence core lives in :mod:`repro.core`; baseline
-  protocols in :mod:`repro.protocols`.
+  protocols in :mod:`repro.protocols`; destination-set prediction
+  (TokenM/TokenD and their predictors) in :mod:`repro.predict` —
+  :func:`prediction_rates` summarizes a run's predictor scorecard.
 """
 
 from repro.coherence import CoherenceChecker, CoherenceViolation
 from repro.core import TokenInvariantError, TokenLedger
+from repro.predict import build_predictor
+from repro.predict.predictors import prediction_rates
 from repro.system import (
     ALL_PROTOCOLS,
     DeadlockError,
@@ -62,8 +66,10 @@ __all__ = [
     "TokenLedger",
     "WorkloadSpec",
     "__version__",
+    "build_predictor",
     "build_system",
     "contended_sharing_spec",
+    "prediction_rates",
     "generate_streams",
     "interconnect_for",
     "memory_pressure_spec",

@@ -6,6 +6,12 @@
     python -m repro.campaign run --spec explorer --seeds 64 --jobs 4
     python -m repro.campaign status --spec figures
     python -m repro.campaign report --spec figures
+    python -m repro.campaign report --spec predict --format csv
+
+``report`` renders figure-style text by default; ``--format
+csv|markdown`` exports one row per scenario instead (simulate:
+runtime/traffic per configuration; explore: oracle outcomes;
+differential: agreement).
 
 ``run`` is incremental: killing it mid-campaign loses nothing but the
 in-flight scenarios, and the rerun executes only what the store is
@@ -161,6 +167,15 @@ def cmd_report(args) -> int:
             f"{store.root}; run:  python -m repro.campaign run --spec {args.spec}"
         )
         return 1
+    if args.format != "text":
+        headers, rows = _report_table(spec.kind, cases, store)
+        render = _format_csv if args.format == "csv" else _format_markdown
+        text = render(headers, rows)
+        print(text)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"report -> {args.out}")
+        return 0
     if spec.kind == "simulate":
         from repro.analysis.report import render_figures_from_store
 
@@ -214,6 +229,99 @@ def _explore_report(cases, store: CampaignStore) -> str:
     return json.dumps(report, indent=2, sort_keys=True)
 
 
+def _report_table(kind: str, cases, store: CampaignStore):
+    """``(headers, rows)`` of a campaign's results, for csv/markdown."""
+    rows = []
+    if kind == "simulate":
+        from repro.campaign.executors import result_from_payload
+
+        headers = [
+            "workload", "protocol", "interconnect", "n_procs",
+            "cycles_per_transaction", "bytes_per_miss", "runtime_ns",
+            "total_ops", "bandwidth", "variant",
+        ]
+        for case in cases:
+            result = result_from_payload(store.get(case.key)["result"])
+            config = result.config
+            variant = ""
+            if config.protocol == "tokenm":
+                variant = config.predictor + (
+                    "+hybrid" if config.bandwidth_adaptive else ""
+                )
+            rows.append([
+                result.workload_name,
+                config.protocol,
+                config.interconnect,
+                config.n_procs,
+                round(result.cycles_per_transaction, 2),
+                round(result.bytes_per_miss, 2),
+                round(result.runtime_ns, 1),
+                result.total_ops,
+                config.link_bandwidth_bytes_per_ns or "unlimited",
+                variant,
+            ])
+    elif kind == "explore":
+        headers = [
+            "protocol", "interconnect", "workload", "seed", "ok",
+            "violation_type", "persistent_requests", "reissued_requests",
+            "events_fired",
+        ]
+        for case in cases:
+            result = store.get(case.key)["result"]
+            params = case.params
+            rows.append([
+                params.get("protocol"),
+                params.get("interconnect"),
+                params.get("workload"),
+                params.get("seed"),
+                result.get("ok"),
+                result.get("violation_type") or "",
+                result.get("persistent_requests", 0),
+                result.get("reissued_requests", 0),
+                result.get("events_fired", 0),
+            ])
+    elif kind == "differential":
+        headers = ["workload", "seed", "reference", "agreed", "mismatches"]
+        for case in cases:
+            result = store.get(case.key)["result"]
+            bad = {k: v for k, v in result.get("mismatches", {}).items() if v}
+            rows.append([
+                result.get("workload"),
+                result.get("seed"),
+                result.get("reference"),
+                result.get("agreed"),
+                "; ".join(f"{k}: {', '.join(v)}" for k, v in bad.items()),
+            ])
+    else:
+        raise SystemExit(f"no tabular report for campaign kind {kind!r}")
+    return headers, rows
+
+
+def _format_csv(headers, rows) -> str:
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue().rstrip("\n")
+
+
+def _format_markdown(headers, rows) -> str:
+    def cell(value) -> str:
+        return str(value).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(cell(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    lines.extend(
+        "| " + " | ".join(cell(value) for value in row) + " |" for row in rows
+    )
+    return "\n".join(lines)
+
+
 def _differential_report(cases, store: CampaignStore) -> str:
     lines = []
     disagreed = 0
@@ -265,6 +373,10 @@ def _parse_args(argv):
         if name == "report":
             cmd.add_argument("--out", default=None,
                              help="also write the report to this file")
+            cmd.add_argument("--format", default="text",
+                             choices=("text", "csv", "markdown"),
+                             help="text renders the figures; csv/markdown "
+                                  "export one row per scenario")
     return parser.parse_args(argv)
 
 

@@ -285,6 +285,49 @@ def ablations_spec() -> CampaignSpec:
     )
 
 
+def predict_spec() -> CampaignSpec:
+    """Destination-set prediction tradeoff grid (fig-4/5 workloads).
+
+    Every commercial workload × {TokenB, TokenD, Directory, TokenM with
+    each predictor, TokenM group + bandwidth-adaptive hybrid}, all on
+    the torus — the traffic-vs-latency sweep behind
+    ``benchmarks/bench_predict_tradeoff.py`` / ``BENCH_predict.json``.
+    The hybrid's adaptation claim needs a constrained-bandwidth point,
+    so TokenB / TokenM / hybrid repeat at 0.8 B/ns.
+    """
+    from repro.config import PREDICTORS
+
+    grid = []
+    for spec in _commercial_workloads().values():
+        grid.append(simulate_case_params(spec, "tokenb", "torus"))
+        grid.append(simulate_case_params(spec, "tokend", "torus"))
+        grid.append(simulate_case_params(spec, "directory", "torus"))
+        grid.extend(
+            simulate_case_params(spec, "tokenm", "torus", predictor=predictor)
+            for predictor in PREDICTORS
+        )
+        grid.append(
+            simulate_case_params(
+                spec, "tokenm", "torus",
+                predictor="group", bandwidth_adaptive=True,
+            )
+        )
+        for protocol, extra in (
+            ("tokenb", {}),
+            ("tokenm", {"predictor": "group"}),
+            ("tokenm", {"predictor": "group", "bandwidth_adaptive": True}),
+        ):
+            grid.append(
+                simulate_case_params(spec, protocol, "torus", 0.8, **extra)
+            )
+    return CampaignSpec(
+        name="predict",
+        kind="simulate",
+        grid=grid,
+        default_store=_default_store("benchmarks/.bench_cache"),
+    )
+
+
 def figures_spec() -> CampaignSpec:
     """The union of every figure-suite campaign (the bench prewarm set)."""
     parts = [
@@ -296,6 +339,7 @@ def figures_spec() -> CampaignSpec:
         section7_spec(),
         q5_spec(),
         ablations_spec(),
+        predict_spec(),
     ]
     seen: dict[str, dict] = {}
     for part in parts:
@@ -375,6 +419,8 @@ def smoke_spec() -> CampaignSpec:
             ("tokenb", "torus"),
             ("directory", "torus"),
             ("snooping", "tree"),
+            ("tokend", "torus"),
+            ("tokenm", "torus"),
         )
     ]
     return CampaignSpec(
@@ -396,6 +442,7 @@ SPEC_BUILDERS = {
     "section7": section7_spec,
     "q5": q5_spec,
     "ablations": ablations_spec,
+    "predict": predict_spec,
     "explorer": explorer_spec,
     "differential": differential_spec,
     "smoke": smoke_spec,

@@ -28,6 +28,9 @@ PROTOCOLS = (
 )
 INTERCONNECTS = ("torus", "tree")
 
+#: Destination-set predictors TokenM can run (repro.predict.predictors).
+PREDICTORS = ("owner", "broadcast-if-shared", "group")
+
 
 @dataclasses.dataclass
 class SystemConfig:
@@ -76,6 +79,33 @@ class SystemConfig:
     #: implemented in all four protocols per Section 4.2.
     migratory_optimization: bool = True
 
+    # Destination-set prediction (Section 7; repro.predict).  The
+    # predictor drives TokenM's multicast sets; the table knobs also
+    # bound TokenD's soft-state directory.
+    predictor: str = "group"
+    #: The traffic-vs-latency dial: a small table predicts only hot,
+    #: recently-active blocks (TokenB-like runtime, modest savings);
+    #: larger tables multicast more and save more bandwidth at a
+    #: reissue-latency cost (see BENCH_predict.json).
+    predictor_table_entries: int = 128
+    #: Indexing granularity: consecutive blocks sharing one table entry
+    #: (power of two; 1 = per-block).
+    predictor_macroblock_blocks: int = 1
+    #: Group-predictor decay period (trainings per entry between decays).
+    predictor_history_depth: int = 4
+    #: Reissue-timer multiplier for a *predicted* first attempt: silence
+    #: usually means the guess was wrong, so TokenM falls back to
+    #: broadcast faster than TokenB's general-purpose timeout.
+    predicted_reissue_timeout_multiplier: float = 1.5
+
+    #: Bandwidth-adaptive hybrid (Section 7 / [29]): a TokenM node
+    #: broadcasts while its outgoing links are idle and switches to
+    #: predicted multicast above the utilization threshold.
+    bandwidth_adaptive: bool = False
+    hybrid_utilization_threshold: float = 0.05
+    #: Backlog-normalization window for the utilization estimate.
+    hybrid_window_ns: float = 200.0
+
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -101,6 +131,27 @@ class SystemConfig:
             raise ValueError("reissue_limit must be >= 0")
         if self.max_outstanding_misses < 1 or self.mshr_capacity < 1:
             raise ValueError("need at least one outstanding miss")
+        if self.predictor not in PREDICTORS:
+            raise ValueError(f"predictor must be one of {PREDICTORS}")
+        if self.predictor_table_entries < 1:
+            raise ValueError("predictor table needs at least one entry")
+        macro = self.predictor_macroblock_blocks
+        if macro < 1 or macro & (macro - 1):
+            raise ValueError(
+                "predictor_macroblock_blocks must be a power of two"
+            )
+        if self.predictor_history_depth < 1:
+            raise ValueError("predictor_history_depth must be >= 1")
+        if self.predicted_reissue_timeout_multiplier <= 0:
+            raise ValueError(
+                "predicted_reissue_timeout_multiplier must be positive"
+            )
+        if not 0.0 <= self.hybrid_utilization_threshold <= 1.0:
+            raise ValueError(
+                "hybrid_utilization_threshold must be in [0, 1]"
+            )
+        if self.hybrid_window_ns <= 0:
+            raise ValueError("hybrid_window_ns must be positive")
 
     @property
     def total_tokens(self) -> int:

@@ -9,14 +9,19 @@ the paper's own line:
 * :mod:`repro.core.tokenb` — the TokenB broadcast performance protocol;
 * :mod:`repro.core.null_protocol` — the degenerate policy showing the
   substrate alone is sufficient for correctness.
+
+The Section 7 extension protocols (TokenD, TokenM) grew into the
+first-class :mod:`repro.predict` subsystem; their node classes are
+re-exported here for convenience.
 """
 
-from repro.core.extensions import TokenDNode, TokenMNode
 from repro.core.null_protocol import NullTokenNode
 from repro.core.persistent import PersistentArbiter, PersistentSession
 from repro.core.substrate import TokenNodeBase
 from repro.core.tokenb import TokenBNode
 from repro.core.tokens import TokenInvariantError, TokenLedger
+from repro.predict.tokend import TokenDNode
+from repro.predict.tokenm import TokenMNode
 
 __all__ = [
     "NullTokenNode",

@@ -73,6 +73,15 @@ class Interconnect(abc.ABC):
         """
 
     @abc.abstractmethod
+    def outgoing_links(self, node_id: int) -> list:
+        """The directed links on which ``node_id`` injects traffic.
+
+        These are the links whose backlog a node can plausibly observe
+        from its own network interface — what the bandwidth-adaptive
+        hybrid (:mod:`repro.predict.hybrid`) watches.
+        """
+
+    @abc.abstractmethod
     def unicast_hops(self, src: int, dst: int) -> int:
         """Number of link crossings on the unicast route (for tests)."""
 

@@ -126,6 +126,13 @@ class TorusInterconnect(Interconnect):
     def unicast_hops(self, src: int, dst: int) -> int:
         return len(self.route(src, dst))
 
+    def outgoing_links(self, node_id: int) -> list[Link]:
+        """A node's four outgoing channels (one per direction)."""
+        return [
+            self._links[(node_id, direction)]
+            for direction in self._DIRECTIONS
+        ]
+
     # ------------------------------------------------------------------
     # Unicast
     # ------------------------------------------------------------------

@@ -174,6 +174,10 @@ class OrderedTreeInterconnect(Interconnect):
         del src, dst
         return 4
 
+    def outgoing_links(self, node_id: int) -> list:
+        """A node's single injection point: its uplink."""
+        return [self._up[node_id]]
+
     def broadcast_crossings(self) -> int:
         """Link crossings per full broadcast: 2 up + groups + N down."""
         return 2 + self.n_groups + self.n_nodes

@@ -1,0 +1,48 @@
+"""Destination-set prediction subsystem (Section 7 made first-class).
+
+The paper's closing argument is that Token Coherence turns destination-set
+prediction into a pure *performance* question: a predictor may aim a
+transient request at any subset of nodes, and the worst a bad guess can
+cost is a reissue — the token-counting substrate and persistent requests
+keep the system correct regardless.  This package is that prediction
+layer:
+
+* :mod:`repro.predict.table` — the bounded, LRU-evicted prediction table
+  every predictor allocates its per-block state from;
+* :mod:`repro.predict.predictors` — the trainable predictors behind
+  TokenM's predictive multicast (*owner*, *broadcast-if-shared*, and
+  *group* with decaying sharer sets), learning from observed token
+  responses and persistent-request activations;
+* :mod:`repro.predict.hybrid` — the bandwidth-adaptive policy that
+  switches a node between TokenB-style broadcast and predicted multicast
+  based on observed link utilization;
+* :mod:`repro.predict.tokend` / :mod:`repro.predict.tokenm` — the two
+  Section 7 performance protocols, promoted out of their original stub
+  module and built on the pieces above.
+"""
+
+from repro.predict.hybrid import BandwidthAdaptivePolicy
+from repro.predict.predictors import (
+    PREDICTORS,
+    BroadcastIfSharedPredictor,
+    GroupPredictor,
+    OwnerPredictor,
+    Predictor,
+    build_predictor,
+)
+from repro.predict.table import PredictionTable
+from repro.predict.tokend import TokenDNode
+from repro.predict.tokenm import TokenMNode
+
+__all__ = [
+    "PREDICTORS",
+    "BandwidthAdaptivePolicy",
+    "BroadcastIfSharedPredictor",
+    "GroupPredictor",
+    "OwnerPredictor",
+    "PredictionTable",
+    "Predictor",
+    "TokenDNode",
+    "TokenMNode",
+    "build_predictor",
+]

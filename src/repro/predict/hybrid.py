@@ -1,0 +1,78 @@
+"""Bandwidth-adaptive hybrid policy: broadcast until the links fill up.
+
+Section 7 (citing the bandwidth-adaptive hybrids of [29]) observes that
+broadcast is the *latency-optimal* request policy whenever bandwidth is
+plentiful — it finds the holder directly, no indirection — and only
+costs too much when links saturate.  The policy here makes that call
+per node, per request: watch the node's own outgoing links, broadcast
+like TokenB while they are mostly idle, and switch to the predictor's
+multicast set once observed utilization crosses a threshold.
+
+Utilization is measured from link backlog, not a moving average of
+bytes: a :class:`~repro.interconnect.link.Link` exposes ``busy_until``
+(when its serialization slot frees up), so ``busy_until - now`` is
+exactly how far behind each link is running.  Normalizing the backlog
+over a observation window gives a number in ``[0, 1]`` that needs no
+extra bookkeeping on the message hot path — idle links cost one
+subtraction per issue.
+
+Because this is pure request-routing policy on the Token Coherence
+substrate, a node may flip modes arbitrarily often — even mid-block,
+even disagreeing with every other node — without any correctness
+consequence; that freedom is the paper's thesis, and the adversarial
+explorer sweeps this policy armed with the full oracle set to prove it.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.link import Link
+from repro.sim.kernel import Simulator
+
+
+class BandwidthAdaptivePolicy:
+    """Per-node broadcast/multicast switch driven by link utilization.
+
+    ``links`` is the node's injection set — its interconnect's
+    :meth:`~repro.interconnect.topology.Interconnect.outgoing_links`.
+    The policy is a pure decision function; the protocol that consults
+    it accounts what was *actually issued* (``hybrid_broadcast`` /
+    ``hybrid_multicast`` counters in
+    :class:`~repro.predict.tokenm.TokenMNode`).
+    """
+
+    __slots__ = ("sim", "links", "threshold", "window_ns")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        links: list[Link],
+        threshold: float,
+        window_ns: float,
+    ) -> None:
+        self.sim = sim
+        self.links = links
+        self.threshold = threshold
+        self.window_ns = window_ns
+
+    def utilization(self) -> float:
+        """Mean outgoing-link backlog, normalized over the window."""
+        links = self.links
+        if not links or links[0].bandwidth is None:
+            return 0.0  # unlimited bandwidth never backs up
+        now = self.sim.now
+        window = self.window_ns
+        backlog = 0.0
+        for link in links:
+            behind = link.busy_until - now
+            if behind > 0.0:
+                backlog += behind if behind < window else window
+        return backlog / (window * len(links))
+
+    def prefers_multicast(self) -> bool:
+        """Should the next transient request be a predicted multicast?
+
+        False while bandwidth is cheap (broadcast wins on latency); True
+        once this node's links are saturated enough that shaving request
+        fan-out is worth a prediction risk.
+        """
+        return self.utilization() > self.threshold

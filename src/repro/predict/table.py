@@ -1,0 +1,90 @@
+"""The bounded prediction table every destination-set predictor uses.
+
+Real predictor hardware is a small tagged SRAM, not an unbounded map, so
+the table models the two knobs that matter for such a structure:
+
+* **capacity** — at most ``capacity`` entries live at once; inserting
+  into a full table evicts the least-recently-touched entry (a lost
+  prediction, never a correctness event);
+* **indexing granularity** — entries are indexed by *macroblock*
+  (``macroblock_blocks`` consecutive cache blocks share one entry, the
+  spatial-predictor variant of the destination-set prediction papers).
+  ``macroblock_blocks=1`` is plain per-block indexing.
+
+Evictions are reported through the shared statistics
+:class:`~repro.sim.stats.Counter` so sweeps can see when a predictor is
+capacity-starved.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.sim.stats import Counter
+
+
+class PredictionTable:
+    """Fixed-capacity, LRU-evicted map from macroblock index to entry."""
+
+    __slots__ = ("capacity", "_shift", "_entries", "evictions",
+                 "_counters", "_eviction_counter")
+
+    def __init__(
+        self,
+        capacity: int,
+        macroblock_blocks: int = 1,
+        counters: Counter | None = None,
+        eviction_counter: str = "predict_table_eviction",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("prediction table needs at least one entry")
+        if macroblock_blocks < 1 or macroblock_blocks & (macroblock_blocks - 1):
+            raise ValueError("macroblock_blocks must be a power of two")
+        self.capacity = capacity
+        self._shift = macroblock_blocks.bit_length() - 1
+        self._entries: OrderedDict[int, object] = OrderedDict()
+        self.evictions = 0
+        self._counters = counters
+        self._eviction_counter = eviction_counter
+
+    def index_of(self, block: int) -> int:
+        """The table index ``block`` maps to (its macroblock number)."""
+        return block >> self._shift
+
+    def get(self, block: int):
+        """The entry covering ``block`` (refreshed as most recent), or None."""
+        entries = self._entries
+        index = block >> self._shift
+        entry = entries.get(index)
+        if entry is not None:
+            entries.move_to_end(index)
+        return entry
+
+    def get_or_create(self, block: int, factory: Callable[[], object]):
+        """The entry covering ``block``, allocating (and possibly
+        evicting the LRU victim) if absent."""
+        entries = self._entries
+        index = block >> self._shift
+        entry = entries.get(index)
+        if entry is not None:
+            entries.move_to_end(index)
+            return entry
+        if len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+            if self._counters is not None:
+                self._counters.add(self._eviction_counter)
+        entry = factory()
+        entries[index] = entry
+        return entry
+
+    def drop(self, block: int) -> None:
+        """Forget the entry covering ``block`` (if any)."""
+        self._entries.pop(block >> self._shift, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: int) -> bool:
+        return (block >> self._shift) in self._entries

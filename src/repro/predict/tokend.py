@@ -1,30 +1,16 @@
-"""Section 7 extension performance protocols: TokenD and TokenM.
+"""TokenD: soft-state directory performance protocol (Section 7).
 
-The paper's key selling point is that *new* performance protocols can be
-built on the correctness substrate "without fear of corner-case
-correctness errors."  This module demonstrates exactly that with two of
-the Section 7 proposals, each a small subclass that changes only request
-routing policy:
+"We can reduce the traffic to directory protocol-like amounts by
+constructing a directory-like performance protocol.  Processors first
+send transient requests to the home node, and the home redirects the
+request to likely sharers and/or the owner by using a 'soft state'
+directory [25]."
 
-* :class:`TokenDNode` — "we can reduce the traffic to directory
-  protocol-like amounts by constructing a directory-like performance
-  protocol.  Processors first send transient requests to the home node,
-  and the home redirects the request to likely sharers and/or the owner
-  by using a 'soft state' directory [25]."  The soft-state directory is
-  just a guess: when it is wrong (silent evictions, races), requests
-  simply fail and the normal reissue/persistent machinery recovers —
-  no protocol changes needed.
-
-* :class:`TokenMNode` — "Token Coherence can use destination-set
-  prediction to achieve the performance of broadcast while using less
-  bandwidth by predicting a subset of processors to which to send
-  requests."  Each node predicts the block's current holders from the
-  token responses it has seen; a first reissue falls back to full
-  broadcast (the bandwidth-adaptive behaviour of [29]).
-
-Neither protocol touches a single line of the substrate: safety and
-starvation freedom are inherited, which is the paper's thesis made
-concrete.
+The soft-state directory is just a guess: it lives in a bounded,
+LRU-evicted :class:`~repro.predict.table.PredictionTable` (an evicted
+entry is a forgotten hint, nothing more), and when it is wrong — silent
+evictions, races, lost redirects — the request simply fails and the
+normal reissue/persistent machinery recovers.  No substrate changes.
 """
 
 from __future__ import annotations
@@ -35,6 +21,7 @@ from repro.cache.mshr import MshrEntry
 from repro.coherence.messages import CoherenceMessage
 from repro.coherence.migratory import MigratoryPredictor
 from repro.core.tokenb import TokenBNode
+from repro.predict.table import PredictionTable
 
 #: ``tag`` value marking a request copy redirected by a TokenD home (so
 #: it is not redirected again).
@@ -60,7 +47,12 @@ class TokenDNode(TokenBNode):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._soft_dir: dict[int, _SoftDirEntry] = {}
+        self._soft_dir = PredictionTable(
+            self.config.predictor_table_entries,
+            self.config.predictor_macroblock_blocks,
+            self.counters,
+            eviction_counter="softdir_eviction",
+        )
         # Owner-side migratory handoffs are invisible to the home's soft
         # state (the owner token moves cache-to-cache), which would make
         # every migratory block a misprediction loop.  TokenD therefore
@@ -70,11 +62,7 @@ class TokenDNode(TokenBNode):
         self.predictor = MigratoryPredictor(self.config.migratory_optimization)
 
     def _soft_entry(self, block: int) -> _SoftDirEntry:
-        entry = self._soft_dir.get(block)
-        if entry is None:
-            entry = _SoftDirEntry()
-            self._soft_dir[block] = entry
-        return entry
+        return self._soft_dir.get_or_create(block, _SoftDirEntry)
 
     # -- issue policy: unicast to home --------------------------------
 
@@ -143,6 +131,8 @@ class TokenDNode(TokenBNode):
             targets |= soft.sharers
         targets.discard(msg.requester)
         targets.discard(self.node_id)
+        if targets:
+            self.counters.add("softdir_redirect")
         for target in sorted(targets):
             copy = self.make_control(
                 dst=target,
@@ -173,71 +163,3 @@ class TokenDNode(TokenBNode):
             soft = self._soft_entry(msg.block)
             soft.owner = None
             soft.sharers.discard(msg.src)
-
-
-class TokenMNode(TokenBNode):
-    """Destination-set-predicting Token Coherence protocol (Section 7).
-
-    First attempts multicast only to the predicted holder set (learned
-    from who sent us tokens) plus the home; reissues fall back to full
-    broadcast, so a cold or wrong predictor costs one timeout, not
-    correctness.
-    """
-
-    #: Cap on the predicted destination set (excluding the home).
-    max_predicted = 4
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        #: block -> recently observed token senders, newest last.
-        self._holder_predictor: dict[int, list[int]] = {}
-
-    # -- learning: whoever sends us tokens probably holds more ---------
-
-    def _handle_tokens(self, msg: CoherenceMessage) -> None:
-        if msg.src != self.node_id:
-            holders = self._holder_predictor.setdefault(msg.block, [])
-            if msg.src in holders:
-                holders.remove(msg.src)
-            holders.append(msg.src)
-            del holders[: -self.max_predicted]
-        super()._handle_tokens(msg)
-
-    def predicted_destinations(self, block: int) -> set[int]:
-        """The destination set for a first-attempt transient request."""
-        targets = set(self._holder_predictor.get(block, ()))
-        targets.add(self.home_of(block))
-        targets.discard(self.node_id)
-        return targets
-
-    # -- issue policy: multicast to the predicted set ------------------
-
-    def _send_transient(self, entry: MshrEntry, category: str) -> None:
-        holders = self._holder_predictor.get(entry.block)
-        if entry.protocol.get("reissues", 0) > 0 or not holders:
-            # Cold block or missed prediction: fall back to broadcast.
-            self.counters.add("destset_fallback_broadcast")
-            super()._send_transient(entry, category)
-            return
-        mtype = "GETM" if entry.for_write else "GETS"
-        for target in sorted(self.predicted_destinations(entry.block)):
-            msg = self.make_control(
-                dst=target,
-                mtype=mtype,
-                block=entry.block,
-                requester=self.node_id,
-                category=category,
-                vnet="request",
-            )
-            self.send_msg(msg)
-        if self.is_home(entry.block):
-            local = self.make_control(
-                dst=self.node_id,
-                mtype=mtype,
-                block=entry.block,
-                requester=self.node_id,
-                category=category,
-                vnet="request",
-            )
-            delay = self.config.controller_latency_ns + self.config.dram_latency_ns
-            self.sim.post(delay, self._memory_respond, local)

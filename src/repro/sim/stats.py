@@ -8,11 +8,25 @@ Three small primitives cover everything the paper reports:
 * :class:`LatencyTracker` — sample mean/max plus an exponentially weighted
   moving average, which TokenB uses for its reissue timeout ("twice the
   recent average miss latency", Section 4.2).
+
+:func:`ratio` is the shared zero-safe reduction for counter pairs (the
+destination-set predictor's hit/coverage/overshoot rates, report
+renderers).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the empty case pinned to 0.0.
+
+    The standard reduction for counter pairs (hits/lookups, covered
+    responders/responders, ...) used by the destination-set predictor
+    scorecard and the report renderers.
+    """
+    return numerator / denominator if denominator else 0.0
 
 
 class Counter:

@@ -32,11 +32,11 @@ def _node_factory(protocol: str):
     if protocol == "null-token":
         return NullTokenNode
     if protocol == "tokend":
-        from repro.core.extensions import TokenDNode
+        from repro.predict.tokend import TokenDNode
 
         return TokenDNode
     if protocol == "tokenm":
-        from repro.core.extensions import TokenMNode
+        from repro.predict.tokenm import TokenMNode
 
         return TokenMNode
     if protocol == "snooping":

@@ -8,11 +8,13 @@ totally-ordered tree, which protocols are token-based, and which can be
 validated with the strict data-value checker.  This module is the single
 statement of those facts.
 
-``ALL_PROTOCOLS`` deliberately lists the five protocols the conformance
-grid exercises (the four paper protocols plus the null performance
-protocol that stresses the correctness substrate alone); the TokenD /
-TokenM extensions share TokenB's substrate and are covered by the
-extension benchmarks rather than the grid.
+``ALL_PROTOCOLS`` lists the seven protocols the conformance grid
+exercises: the four paper protocols, the null performance protocol that
+stresses the correctness substrate alone, and the two Section 7
+extension protocols (TokenD's soft-state directory and TokenM's
+predictive multicast, both first-class citizens of
+:mod:`repro.predict`) — every one swept by the adversarial schedule
+explorer and the differential conformance harness.
 """
 
 from __future__ import annotations
@@ -21,15 +23,17 @@ from typing import Iterator
 
 from repro.config import INTERCONNECTS, PROTOCOLS
 
-#: The conformance grid's protocol set: the paper's four protocols plus
-#: the null performance protocol (Section 4.1's degenerate-but-correct
-#: policy).
+#: The conformance grid's protocol set: the paper's four protocols, the
+#: null performance protocol (Section 4.1's degenerate-but-correct
+#: policy), and the Section 7 extension protocols.
 ALL_PROTOCOLS: tuple[str, ...] = (
     "tokenb",
     "snooping",
     "directory",
     "hammer",
     "null-token",
+    "tokend",
+    "tokenm",
 )
 
 #: Protocols built on the Token Coherence correctness substrate (token
@@ -74,8 +78,8 @@ def protocol_grid(
 ) -> Iterator[tuple[str, str]]:
     """Yield every legal ``(protocol, interconnect)`` pair in the grid.
 
-    The full default grid is 9 combinations: snooping contributes only
-    snooping/tree; the other four protocols contribute both topologies.
+    The full default grid is 13 combinations: snooping contributes only
+    snooping/tree; the other six protocols contribute both topologies.
     """
     for protocol in protocols:
         legal = interconnects_for(protocol)

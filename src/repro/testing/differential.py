@@ -1,6 +1,6 @@
 """Differential conformance: one workload, every protocol, same answers.
 
-The five protocols make wildly different timing decisions, so most
+The grid's protocols make wildly different timing decisions, so most
 per-run quantities (latencies, message counts, even the order in which
 racing stores land) legitimately differ.  What must *not* differ is
 anything determined by the input streams alone:

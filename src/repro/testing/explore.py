@@ -236,6 +236,11 @@ _TOKEN_PERTURB = dict(
 #: congestion jitter is the legal subset.
 _BASELINE_PERTURB = dict(link_jitter_ns=6.0)
 
+#: TokenM scenarios rotate through every destination-set predictor (and
+#: arm the bandwidth-adaptive hybrid on alternating seeds) so the sweep
+#: exercises the whole prediction subsystem, not just the default.
+_PREDICTOR_ROTATION = ("group", "owner", "broadcast-if-shared")
+
 #: Tight timeout knobs for TokenB so the sweep constantly exercises the
 #: reissue and persistent paths, not just the happy broadcast path.
 _AGGRESSIVE_TIMEOUTS = dict(
@@ -268,6 +273,14 @@ def make_scenario(
         # in-flight MSHRs cannot exhaust a set (that exhaustion is a
         # declared misconfiguration, not a protocol bug).
         overrides["l2_assoc"] = 8
+    if protocol == "tokenm":
+        overrides["predictor"] = _PREDICTOR_ROTATION[
+            seed % len(_PREDICTOR_ROTATION)
+        ]
+        overrides["bandwidth_adaptive"] = seed % 2 == 1
+        # A tiny table under an adversarial workload keeps the LRU
+        # eviction path hot (an evicted entry is just a lost hint).
+        overrides["predictor_table_entries"] = 8
     ops = 16 if protocol == "null-token" else 40
     return Scenario(
         seed=seed,

@@ -44,6 +44,51 @@ def test_run_status_report_cycle(mini_spec_file, tmp_path, capsys):
     assert "tokenb" in out and "directory" in out and "cyc/txn" in out
 
 
+def test_report_formats_csv_and_markdown(mini_spec_file, tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    capsys.readouterr()
+
+    out_file = tmp_path / "report.csv"
+    assert main(["report", "--spec", mini_spec_file, "--store", store,
+                 "--format", "csv", "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    lines = out_file.read_text().strip().splitlines()
+    assert lines[0].startswith("workload,protocol,interconnect")
+    assert len(lines) == 3  # header + one row per scenario
+    assert any(line.split(",")[1] == "tokenb" for line in lines[1:])
+    assert lines[0] in out  # printed alongside the file export
+
+    assert main(["report", "--spec", mini_spec_file, "--store", store,
+                 "--format", "markdown"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("| workload | protocol |")
+    assert "| --- |" in out
+    assert "| tokenb |" in out and "| directory |" in out
+
+
+def test_report_format_csv_covers_explore_and_differential(tmp_path, capsys):
+    specs = {
+        "explore": [{"seed": 0, "protocol": "tokenm",
+                     "interconnect": "torus",
+                     "workload": "false_sharing", "ops_per_proc": 8}],
+        "differential": [{"workload": "false_sharing", "seed": 0,
+                          "n_procs": 2, "ops_per_proc": 8}],
+    }
+    for kind, grid in specs.items():
+        spec = tmp_path / f"{kind}.json"
+        spec.write_text(json.dumps({"name": kind, "kind": kind, "grid": grid}))
+        store = str(tmp_path / f"store-{kind}")
+        assert main(["run", "--spec", str(spec), "--store", store,
+                     "--jobs", "1", "-q"]) == 0
+        capsys.readouterr()
+        assert main(["report", "--spec", str(spec), "--store", store,
+                     "--format", "csv"]) == 0
+        header, row = capsys.readouterr().out.strip().splitlines()[:2]
+        assert "workload" in header and "false_sharing" in row
+
+
 def test_expect_cached_asserts_full_store_hit(mini_spec_file, tmp_path, capsys):
     store = str(tmp_path / "store")
     # Cold store: --expect-cached must fail loudly...

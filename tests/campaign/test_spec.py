@@ -111,8 +111,11 @@ def test_presets_declare_expected_scales():
     # 45 historic standard-grid cases plus the ablation variants.
     assert len(figures.cases()) >= 45
     explorer = presets.explorer_spec(seeds=2)
-    # 2 seeds x 9 legal grid points x 4 adversarial workloads.
-    assert len(explorer.cases()) == 72
+    # 2 seeds x 13 legal grid points x 4 adversarial workloads.
+    assert len(explorer.cases()) == 104
     differential = presets.differential_spec(seeds=3)
     assert len(differential.cases()) == 12
-    assert len(presets.smoke_spec().cases()) == 6
+    assert len(presets.smoke_spec().cases()) == 10
+    # The predict tradeoff grid: 3 workloads x (7 full-bandwidth + 3
+    # constrained-bandwidth variants).
+    assert len(presets.predict_spec().cases()) == 30

@@ -81,7 +81,7 @@ def test_tokenm_predictor_learns_token_senders():
     }
     system, _ = run_protocol("tokenm", streams)
     node = system.nodes[1]
-    assert 0 in node._holder_predictor.get(0x2000 // 64, [])
+    assert 0 in (node.predictor.predict(0x2000 // 64) or ())
 
 
 def test_tokenm_falls_back_to_broadcast_when_cold():

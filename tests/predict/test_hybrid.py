@@ -1,0 +1,83 @@
+"""Bandwidth-adaptive hybrid: utilization estimate and mode switching."""
+
+from repro.config import SystemConfig
+from repro.interconnect import build_interconnect
+from repro.predict.hybrid import BandwidthAdaptivePolicy
+from repro.sim.kernel import Simulator
+from repro.system.builder import build_system
+
+from tests.core.conftest import op
+
+
+def make_policy(bandwidth=3.2, threshold=0.25, window=200.0):
+    sim = Simulator()
+    network = build_interconnect("torus", sim, 4, 15.0, bandwidth, None)
+    links = network.outgoing_links(0)
+    return sim, links, BandwidthAdaptivePolicy(sim, links, threshold, window)
+
+
+def test_outgoing_links_per_topology():
+    sim = Simulator()
+    torus = build_interconnect("torus", sim, 16, 15.0, 3.2, None)
+    assert len(torus.outgoing_links(3)) == 4
+    tree = build_interconnect("tree", sim, 16, 15.0, 3.2, None)
+    assert len(tree.outgoing_links(3)) == 1
+
+
+def test_idle_links_prefer_broadcast():
+    _, _, policy = make_policy()
+    assert policy.utilization() == 0.0
+    assert not policy.prefers_multicast()
+
+
+def test_backlogged_links_prefer_multicast():
+    _, links, policy = make_policy()
+    for link in links:
+        link.occupy(1024, "data")  # 1024 B / 3.2 B/ns = 320 ns backlog
+    assert policy.utilization() > 0.9
+    assert policy.prefers_multicast()
+
+
+def test_backlog_drains_with_time():
+    sim, links, policy = make_policy(window=200.0)
+    links[0].occupy(256, "data")  # 80 ns on one of four links
+    assert 0.0 < policy.utilization() < 0.25
+    sim.post(500.0, lambda: None)
+    sim.run()
+    assert policy.utilization() == 0.0
+
+
+def test_unlimited_bandwidth_always_broadcasts():
+    _, links, policy = make_policy(bandwidth=None)
+    for link in links:
+        link.occupy(10**6, "data")
+    assert policy.utilization() == 0.0
+    assert not policy.prefers_multicast()
+
+
+def test_adaptive_tokenm_runs_and_switches_modes():
+    """A saturated adaptive TokenM system exercises both modes and
+    completes with the ledger clean (policy freedom is correctness-free).
+    """
+    config = SystemConfig(
+        protocol="tokenm",
+        interconnect="torus",
+        n_procs=4,
+        l2_bytes=64 * 64,
+        bandwidth_adaptive=True,
+        hybrid_utilization_threshold=0.05,
+        hybrid_window_ns=400.0,
+        link_bandwidth_bytes_per_ns=0.4,  # narrow links saturate fast
+    )
+    streams = {
+        p: [op(0x4000 + 64 * (i % 4), write=(p + i) % 2 == 0, think=5.0)
+            for i in range(40)]
+        for p in range(4)
+    }
+    system = build_system(config, streams)
+    result = system.run(max_events=10_000_000)
+    system.ledger.audit_all_touched()
+    assert result.total_ops == 160
+    counters = result.counters
+    assert counters.get("hybrid_broadcast", 0) > 0
+    assert counters.get("hybrid_multicast", 0) > 0

@@ -1,0 +1,56 @@
+"""PredictionTable: capacity, LRU order, macroblock indexing."""
+
+import pytest
+
+from repro.predict.table import PredictionTable
+from repro.sim.stats import Counter
+
+
+def test_capacity_evicts_least_recently_used():
+    table = PredictionTable(2)
+    table.get_or_create(1, list)
+    table.get_or_create(2, list)
+    table.get(1)  # refresh 1; 2 becomes the LRU victim
+    table.get_or_create(3, list)
+    assert 1 in table and 3 in table
+    assert 2 not in table
+    assert table.evictions == 1
+
+
+def test_eviction_reported_through_shared_counter():
+    counters = Counter()
+    table = PredictionTable(1, counters=counters, eviction_counter="softdir_eviction")
+    table.get_or_create(1, list)
+    table.get_or_create(2, list)
+    assert counters.get("softdir_eviction") == 1
+
+
+def test_get_or_create_returns_same_entry():
+    table = PredictionTable(4)
+    first = table.get_or_create(7, list)
+    assert table.get_or_create(7, list) is first
+    assert table.get(7) is first
+    assert len(table) == 1
+
+
+def test_macroblock_indexing_shares_entries():
+    table = PredictionTable(8, macroblock_blocks=4)
+    entry = table.get_or_create(16, list)
+    # Blocks 16..19 share one macroblock entry; 20 starts the next.
+    assert table.get(19) is entry
+    assert table.get(20) is None
+    assert table.index_of(19) == 4 and table.index_of(20) == 5
+
+
+def test_drop_forgets_entry():
+    table = PredictionTable(4)
+    table.get_or_create(3, list)
+    table.drop(3)
+    assert table.get(3) is None
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError, match="at least one entry"):
+        PredictionTable(0)
+    with pytest.raises(ValueError, match="power of two"):
+        PredictionTable(4, macroblock_blocks=3)

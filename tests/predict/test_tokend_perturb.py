@@ -1,0 +1,125 @@
+"""TokenD's home-redirect and soft-directory paths under adversarial
+schedules (jitter/drop/dup perturbation), which previously had only
+bench coverage.
+
+The soft-state directory is pure performance policy: a dropped redirect,
+a jittered redirect racing its own data response, or a stale owner guess
+must cost at most reissues — never safety, liveness, or drainage.  These
+tests run TokenD through the schedule explorer's full oracle set with
+the token-protocol perturbation schedules armed.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.system.builder import build_system
+from repro.testing.explore import Scenario, run_scenario
+from repro.testing.perturb import Perturber, PerturbSpec
+
+from tests.core.conftest import op
+
+#: The explorer's full token-protocol adversarial schedule.
+_JITTER_DROP = dict(
+    kernel_jitter_ns=12.0,
+    link_jitter_ns=6.0,
+    reorder_jitter_ns=10.0,
+    drop_request_prob=0.15,
+    dup_request_prob=0.10,
+)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("workload", ["false_sharing", "arbiter_contention"])
+def test_tokend_survives_jitter_and_drops(seed, workload):
+    """All oracles hold for TokenD under jitter/drop/dup schedules."""
+    scenario = Scenario(
+        seed=seed,
+        protocol="tokend",
+        interconnect="torus",
+        workload=workload,
+        perturb=PerturbSpec(seed=seed, **_JITTER_DROP),
+    )
+    outcome = run_scenario(scenario)
+    assert outcome.ok, (outcome.violation_type, outcome.violation_message)
+    assert outcome.perturb_stats["dropped_requests"] > 0
+
+
+def _run_perturbed_tokend(streams, spec, **overrides):
+    defaults = dict(
+        protocol="tokend", interconnect="torus", n_procs=4, l2_bytes=64 * 64
+    )
+    defaults.update(overrides)
+    system = build_system(SystemConfig(**defaults), streams)
+    perturber = Perturber(spec)
+    perturber.install(system)
+    result = system.run(max_events=10_000_000)
+    system.ledger.audit_all_touched()
+    return system, result, perturber
+
+
+def test_home_redirect_fires_under_jitter():
+    """Jitter does not starve the redirect path: the home still forwards
+    requests to the predicted owner, and a redirected request completes."""
+    streams = {
+        1: [op(0x1000, write=True)],
+        2: [op(0x1000, write=True, think=900.0)],
+        3: [op(0x1000, think=2500.0)],
+    }
+    spec = PerturbSpec(seed=3, kernel_jitter_ns=12.0, link_jitter_ns=6.0,
+                       reorder_jitter_ns=10.0)
+    system, result, _ = _run_perturbed_tokend(streams, spec)
+    assert result.total_ops == 3
+    assert result.counters.get("softdir_redirect", 0) > 0
+    # The last exclusive requester is the soft directory's owner guess.
+    home = system.nodes[(0x1000 // 64) % 4]
+    assert home._soft_entry(0x1000 // 64).owner == 2
+
+
+def test_soft_directory_survives_dropped_redirects():
+    """Dropping transient requests (including redirected copies) costs
+    reissues/persistent escalation only; every operation completes."""
+    streams = {
+        p: [op(0x3000 + 64 * (i % 4), write=(p + i) % 2 == 0, think=25.0)
+            for i in range(20)]
+        for p in range(4)
+    }
+    spec = PerturbSpec(seed=11, drop_request_prob=0.3, dup_request_prob=0.1)
+    system, result, perturber = _run_perturbed_tokend(streams, spec)
+    assert result.total_ops == 80
+    assert perturber.stats["dropped_requests"] > 0
+    # The broadcast fallback was exercised (a dropped unicast to the
+    # home leaves nobody to answer until the reissue).
+    assert result.counters.get("softdir_fallback_broadcast", 0) > 0
+
+
+def test_soft_directory_eviction_under_pressure_is_harmless():
+    """An LRU-bounded soft directory thrashing under a wide footprint
+    still completes everything (an evicted entry is a lost hint)."""
+    streams = {
+        p: [op(0x8000 + 64 * ((7 * i + p) % 24), write=i % 3 == 0, think=10.0)
+            for i in range(24)]
+        for p in range(4)
+    }
+    spec = PerturbSpec(seed=7, kernel_jitter_ns=8.0, drop_request_prob=0.1)
+    system, result, _ = _run_perturbed_tokend(
+        streams, spec, predictor_table_entries=4
+    )
+    assert result.total_ops == 96
+    assert result.counters.get("softdir_eviction", 0) > 0
+
+
+def test_forced_escalation_keeps_soft_directory_consistent():
+    """Forcing misses straight onto the persistent path interleaves
+    arbiter activations with home redirection; drainage oracles hold."""
+    scenario = Scenario(
+        seed=9,
+        protocol="tokend",
+        interconnect="tree",
+        workload="writeback_churn",
+        perturb=PerturbSpec(seed=9, kernel_jitter_ns=12.0,
+                            force_escalation_prob=0.2),
+        config_overrides={"l2_assoc": 8},
+    )
+    outcome = run_scenario(scenario)
+    assert outcome.ok, (outcome.violation_type, outcome.violation_message)
+    assert outcome.perturb_stats["forced_escalations"] > 0

@@ -1,4 +1,5 @@
-"""Differential conformance tests: five protocols, one workload, same
+"""Differential conformance tests: the full protocol grid (including
+the promoted TokenD/TokenM extensions), one workload, same
 protocol-independent observables."""
 
 import pytest

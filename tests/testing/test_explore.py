@@ -44,8 +44,8 @@ def test_unknown_workload_rejected():
 
 def test_grid_covers_all_protocols_topologies_and_workloads():
     scenarios = scenario_grid(seeds=range(2))
-    # 9 legal (protocol, interconnect) pairs x 4 workloads x 2 seeds.
-    assert len(scenarios) == 2 * 9 * 4
+    # 13 legal (protocol, interconnect) pairs x 4 workloads x 2 seeds.
+    assert len(scenarios) == 2 * 13 * 4
     seen = {(s.protocol, s.interconnect) for s in scenarios}
     assert seen == set(protocol_grid())
     assert {s.workload for s in scenarios} == set(ADVERSARIAL_WORKLOADS)
