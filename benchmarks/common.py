@@ -41,6 +41,7 @@ from repro.campaign.executors import (
 )
 from repro.campaign.presets import (  # noqa: F401 — re-exported for benches
     OPS_PER_PROC,
+    program_case_params,
     simulate_case_params,
 )
 from repro.campaign.presets import figures_spec
@@ -123,6 +124,35 @@ def run(
         ops_per_proc,
         **config_overrides,
     )
+    return _run_case(this)
+
+
+def run_program(
+    program,
+    protocol: str,
+    interconnect: str,
+    bandwidth: float | None = 3.2,
+    directory_latency: float = 80.0,
+    n_procs: int = 16,
+    **config_overrides,
+) -> SimulationResult:
+    """Simulate one phase-structured program (memoized like :func:`run`)."""
+    this = ScenarioCase(
+        "simulate",
+        program_case_params(
+            program,
+            protocol,
+            interconnect,
+            bandwidth,
+            directory_latency,
+            n_procs,
+            **config_overrides,
+        ),
+    )
+    return _run_case(this)
+
+
+def _run_case(this: ScenarioCase) -> SimulationResult:
     result = _memo.get(this.key)
     if result is not None:
         return result

@@ -36,9 +36,13 @@ from repro.system import (
     interconnect_for,
     protocol_grid,
     simulate,
+    simulate_program,
 )
 from repro.workloads import (
     APACHE,
+    CAMPAIGN_PROGRAMS,
+    PatternSpec,
+    WorkloadProgram,
     COMMERCIAL_WORKLOADS,
     OLTP,
     SPECJBB,
@@ -53,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_PROTOCOLS",
     "APACHE",
+    "CAMPAIGN_PROGRAMS",
     "COMMERCIAL_WORKLOADS",
     "CoherenceChecker",
     "CoherenceViolation",
@@ -61,7 +66,9 @@ __all__ = [
     "SPECJBB",
     "SimulationResult",
     "System",
+    "PatternSpec",
     "SystemConfig",
+    "WorkloadProgram",
     "TokenInvariantError",
     "TokenLedger",
     "WorkloadSpec",
@@ -75,4 +82,5 @@ __all__ = [
     "memory_pressure_spec",
     "protocol_grid",
     "simulate",
+    "simulate_program",
 ]

@@ -54,6 +54,8 @@ def resolve_spec(name: str, args) -> CampaignSpec:
         )
     elif name == "differential":
         kwargs = dict(seeds=args.seeds, seed_base=args.seed_base)
+    elif name == "workloads":
+        kwargs = dict(smoke=args.smoke)
     return builder(**kwargs)
 
 
@@ -359,7 +361,7 @@ def _parse_args(argv):
                          help="seed count for explorer/differential specs")
         cmd.add_argument("--seed-base", type=int, default=0)
         cmd.add_argument("--smoke", action="store_true",
-                         help="reduced-scale explorer scenarios")
+                         help="reduced-scale explorer/workloads scenarios")
         if name == "run":
             cmd.add_argument("--jobs", type=int, default=None,
                              help="worker processes (default: all cores; "

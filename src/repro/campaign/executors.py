@@ -11,7 +11,10 @@ Registered kinds:
 ``simulate``
     One full-system simulation (the figure benches' unit of work).
     Params: ``{"workload": asdict(WorkloadSpec), "ops_per_proc": N,
-    "config": {SystemConfig kwargs}}``.  Result: the
+    "config": {SystemConfig kwargs}}``, or ``{"program":
+    WorkloadProgram.to_dict(), "config": {...}}`` for a
+    phase-structured program (phase lengths live inside the program
+    document).  Result: the
     :class:`~repro.system.simulator.SimulationResult` payload.
 ``explore``
     One adversarial schedule-explorer scenario with every oracle armed.
@@ -75,12 +78,20 @@ def result_from_payload(payload: dict):
 
 def _run_simulate(params: dict) -> dict:
     from repro.config import SystemConfig
-    from repro.system.builder import simulate
-    from repro.workloads.synthetic import WorkloadSpec
 
     config = SystemConfig(**params["config"])
-    workload = WorkloadSpec(**params["workload"])
-    result = simulate(config, workload.scaled(params["ops_per_proc"]))
+    if "program" in params:
+        from repro.system.builder import simulate_program
+        from repro.workloads.programs import WorkloadProgram
+
+        program = WorkloadProgram.from_dict(params["program"])
+        result = simulate_program(config, program)
+    else:
+        from repro.system.builder import simulate
+        from repro.workloads.synthetic import WorkloadSpec
+
+        workload = WorkloadSpec(**params["workload"])
+        result = simulate(config, workload.scaled(params["ops_per_proc"]))
     return result_to_payload(result)
 
 

@@ -328,6 +328,109 @@ def predict_spec() -> CampaignSpec:
     )
 
 
+def program_case_params(
+    program,
+    protocol: str,
+    interconnect: str,
+    bandwidth: float | None = 3.2,
+    directory_latency: float = 80.0,
+    n_procs: int = 16,
+    **config_overrides,
+) -> dict:
+    """The ``simulate``-kind params document for one program run.
+
+    Phase lengths travel inside the program document, so there is no
+    separate ``ops_per_proc`` — scale the program itself
+    (:meth:`~repro.workloads.programs.WorkloadProgram.scaled`).
+    """
+    config = dict(
+        protocol=protocol,
+        interconnect=interconnect,
+        n_procs=n_procs,
+        link_bandwidth_bytes_per_ns=bandwidth,
+        directory_latency_ns=directory_latency,
+    )
+    config.update(config_overrides)
+    return {"program": program.to_dict(), "config": config}
+
+
+#: Constrained-bandwidth point the per-phase ranking comparison runs at
+#: (broadcast's fan-out only costs runtime once links can saturate).
+WORKLOADS_PHASE_BW = 0.8
+
+#: Protocols the per-phase ranking flip is measured over.
+WORKLOADS_PHASE_PROTOCOLS = ("tokenb", "directory", "hammer")
+
+#: Protocols the program-level sweep covers (the performance grid; the
+#: null protocol has no performance story to rank).
+WORKLOADS_PROGRAM_PROTOCOLS = (
+    "tokenb", "snooping", "directory", "hammer", "tokend", "tokenm"
+)
+
+
+def workloads_spec(smoke: bool = False) -> CampaignSpec:
+    """Phase-structured workload programs × protocols × topologies.
+
+    The full sweep runs every :data:`CAMPAIGN_PROGRAMS` program over
+    the canonical performance-protocol grid (both topologies where
+    legal), plus each program's phases in isolation at
+    :data:`WORKLOADS_PHASE_BW` so ``bench_workload_suite.py`` can show
+    protocol rankings flipping between phases of one program.
+
+    ``smoke=True`` is the CI slice: every program scaled to 80 ops over
+    the default-interconnect pairs — minutes-scale, run twice with
+    ``--expect-cached`` to prove program scenarios resume from the
+    store like any other kind.
+    """
+    from repro.system.grid import interconnect_for, protocol_grid
+    from repro.workloads.programs import CAMPAIGN_PROGRAMS
+
+    grid: list[dict] = []
+    if smoke:
+        for program in CAMPAIGN_PROGRAMS.values():
+            small = program.scaled(80)
+            grid.extend(
+                program_case_params(
+                    small, protocol, interconnect_for(protocol), n_procs=8
+                )
+                for protocol in ("tokenb", "snooping", "directory",
+                                 "tokend", "tokenm")
+            )
+        # The CI smoke slice keeps its own store (mirrors the smoke
+        # campaign job and its actions/cache path).
+        return CampaignSpec(
+            name="workloads",
+            kind="simulate",
+            grid=grid,
+            default_store=_default_store("campaigns/workloads"),
+        )
+    for program in CAMPAIGN_PROGRAMS.values():
+        grid.extend(
+            program_case_params(program, protocol, interconnect)
+            for protocol, interconnect in protocol_grid(
+                WORKLOADS_PROGRAM_PROTOCOLS
+            )
+        )
+    for program in CAMPAIGN_PROGRAMS.values():
+        for index in range(len(program.phases)):
+            isolated = program.isolate_phase(index)
+            grid.extend(
+                program_case_params(
+                    isolated, protocol, "torus", WORKLOADS_PHASE_BW
+                )
+                for protocol in WORKLOADS_PHASE_PROTOCOLS
+            )
+    # The full grid shares the benchmark suite's store (like every other
+    # bench-declared spec), so CLI runs and bench_workload_suite.py
+    # serve each other's results.
+    return CampaignSpec(
+        name="workloads",
+        kind="simulate",
+        grid=grid,
+        default_store=_default_store("benchmarks/.bench_cache"),
+    )
+
+
 def figures_spec() -> CampaignSpec:
     """The union of every figure-suite campaign (the bench prewarm set)."""
     parts = [
@@ -372,13 +475,17 @@ def explorer_spec(
     shared reduced-scale scenario transform.
     """
     from repro.system.grid import ALL_PROTOCOLS
-    from repro.testing.explore import SMOKE_SEEDS, scenario_grid, smoke_scenarios
-    from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+    from repro.testing.explore import (
+        EXPLORER_WORKLOADS,
+        SMOKE_SEEDS,
+        scenario_grid,
+        smoke_scenarios,
+    )
 
     scenarios = scenario_grid(
         range(seed_base, seed_base + (min(seeds, SMOKE_SEEDS) if smoke else seeds)),
         protocols if protocols is not None else ALL_PROTOCOLS,
-        workloads if workloads is not None else tuple(ADVERSARIAL_WORKLOADS),
+        workloads if workloads is not None else tuple(EXPLORER_WORKLOADS),
     )
     if smoke:
         scenarios = smoke_scenarios(scenarios)
@@ -391,10 +498,10 @@ def explorer_spec(
 
 
 def differential_spec(seeds: int = 4, seed_base: int = 0, workloads=None) -> CampaignSpec:
-    """Cross-protocol conformance: workloads × seeds."""
-    from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+    """Cross-protocol conformance: workloads × seeds (flat + phased)."""
+    from repro.testing.explore import EXPLORER_WORKLOADS
 
-    names = workloads if workloads is not None else tuple(ADVERSARIAL_WORKLOADS)
+    names = workloads if workloads is not None else tuple(EXPLORER_WORKLOADS)
     return CampaignSpec(
         name="differential",
         kind="differential",
@@ -446,6 +553,7 @@ SPEC_BUILDERS = {
     "explorer": explorer_spec,
     "differential": differential_spec,
     "smoke": smoke_spec,
+    "workloads": workloads_spec,
 }
 
 

@@ -55,18 +55,28 @@ class BandwidthAdaptivePolicy:
         self.window_ns = window_ns
 
     def utilization(self) -> float:
-        """Mean outgoing-link backlog, normalized over the window."""
-        links = self.links
-        if not links or links[0].bandwidth is None:
-            return 0.0  # unlimited bandwidth never backs up
+        """Mean backlog of the bandwidth-limited outgoing links.
+
+        Unlimited links are skipped per-link (they never back up) and
+        the mean is normalized over the limited ones, so a
+        heterogeneous injection set — say a free first link followed by
+        narrow ones — still reports the saturation of the links that
+        can actually saturate.  All-unlimited sets report 0.0.
+        """
         now = self.sim.now
         window = self.window_ns
         backlog = 0.0
-        for link in links:
+        limited = 0
+        for link in self.links:
+            if link.bandwidth is None:
+                continue
+            limited += 1
             behind = link.busy_until - now
             if behind > 0.0:
                 backlog += behind if behind < window else window
-        return backlog / (window * len(links))
+        if not limited:
+            return 0.0  # unlimited bandwidth never backs up
+        return backlog / (window * limited)
 
     def prefers_multicast(self) -> bool:
         """Should the next transient request be a predicted multicast?

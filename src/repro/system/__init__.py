@@ -1,6 +1,6 @@
 """System assembly and configuration."""
 
-from repro.system.builder import System, build_system, simulate
+from repro.system.builder import System, build_system, simulate, simulate_program
 from repro.config import INTERCONNECTS, PROTOCOLS, SystemConfig
 from repro.system.grid import (
     ALL_PROTOCOLS,
@@ -34,4 +34,5 @@ __all__ = [
     "is_token_protocol",
     "protocol_grid",
     "simulate",
+    "simulate_program",
 ]

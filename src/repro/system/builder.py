@@ -217,3 +217,25 @@ def simulate(
         ops_per_transaction=workload.ops_per_transaction,
     )
     return system.run(max_events=max_events)
+
+
+def simulate_program(
+    config: SystemConfig,
+    program,
+    max_events: int | None = None,
+) -> SimulationResult:
+    """Run a phase-structured :class:`WorkloadProgram` to completion.
+
+    Streams are fed to the sequencers as per-processor *generators*
+    (sequencers consume iterators), so arbitrarily long programs never
+    materialize as lists.  Like :func:`simulate`, generation depends
+    only on ``(program, n_procs, config.seed)``.
+    """
+    streams = program.streams(config.n_procs, config.seed, config.block_bytes)
+    system = build_system(
+        config,
+        streams,
+        workload_name=program.name,
+        ops_per_transaction=program.ops_per_transaction,
+    )
+    return system.run(max_events=max_events)

@@ -31,8 +31,7 @@ from repro.coherence.checker import CoherenceChecker
 from repro.config import SystemConfig
 from repro.system.builder import build_system
 from repro.system.grid import ALL_PROTOCOLS, interconnect_for
-from repro.testing.explore import BASE_GEOMETRY
-from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+from repro.testing.explore import BASE_GEOMETRY, EXPLORER_WORKLOADS
 
 
 class RecordingChecker(CoherenceChecker):
@@ -149,11 +148,13 @@ def run_differential(
 ) -> dict:
     """Run one adversarial workload through every protocol and compare.
 
-    Each protocol runs on its canonical interconnect.  Returns a report
-    dict with ``agreed`` plus per-protocol mismatch lists keyed by
-    ``protocol/interconnect``.
+    ``workload`` may name a flat adversarial generator or a phased
+    adversarial program — both are pure stream functions, so the
+    conformance contract is identical.  Each protocol runs on its
+    canonical interconnect.  Returns a report dict with ``agreed`` plus
+    per-protocol mismatch lists keyed by ``protocol/interconnect``.
     """
-    generator = ADVERSARIAL_WORKLOADS[workload]
+    generator = EXPLORER_WORKLOADS[workload]
     observations: list[Observation] = []
     overrides = dict(config_overrides or {})
     for protocol in protocols:

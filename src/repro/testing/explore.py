@@ -44,6 +44,13 @@ from repro.system.grid import ALL_PROTOCOLS, is_token_protocol, protocol_grid
 from repro.testing.mutants import MUTANTS
 from repro.testing.perturb import Perturber, PerturbSpec
 from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+from repro.workloads.programs import ADVERSARIAL_PROGRAMS
+
+#: Everything a scenario's ``workload`` field may name: the flat
+#: adversarial generators plus the phase-structured adversarial
+#: programs — both pure functions of (seed, n_procs, ops_per_proc), so
+#: either kind replays bit-identically from a repro file.
+EXPLORER_WORKLOADS = {**ADVERSARIAL_WORKLOADS, **ADVERSARIAL_PROGRAMS}
 
 
 class OracleError(AssertionError):
@@ -128,7 +135,7 @@ def _build_config(scenario: Scenario) -> SystemConfig:
 
 
 def _generate_streams(scenario: Scenario, config: SystemConfig):
-    generator = ADVERSARIAL_WORKLOADS[scenario.workload]
+    generator = EXPLORER_WORKLOADS[scenario.workload]
     kwargs = {}
     if scenario.workload == "eviction_storm":
         # Aim the storm at the system's actual set count.
@@ -182,7 +189,7 @@ def _post_run_oracles(system, result, expected_ops: int) -> None:
 
 def run_scenario(scenario: Scenario) -> ScenarioOutcome:
     """Execute one scenario with every oracle armed."""
-    if scenario.workload not in ADVERSARIAL_WORKLOADS:
+    if scenario.workload not in EXPLORER_WORKLOADS:
         raise ValueError(f"unknown workload {scenario.workload!r}")
     config = _build_config(scenario)
     streams = _generate_streams(scenario, config)
@@ -297,9 +304,17 @@ def make_scenario(
 def scenario_grid(
     seeds,
     protocols=ALL_PROTOCOLS,
-    workloads=tuple(ADVERSARIAL_WORKLOADS),
+    workloads=None,
 ) -> list[Scenario]:
-    """Seeds × canonical protocol/topology grid × adversarial workloads."""
+    """Seeds × canonical protocol/topology grid × adversarial workloads.
+
+    The default workload rotation covers both the flat adversarial
+    generators and the phased :data:`ADVERSARIAL_PROGRAMS`, so every
+    protocol also faces mid-schedule sharing-pattern shifts with all
+    oracles armed.
+    """
+    if workloads is None:
+        workloads = tuple(EXPLORER_WORKLOADS)
     return [
         make_scenario(seed, protocol, interconnect, workload)
         for seed in seeds
@@ -465,8 +480,9 @@ def _parse_args(argv):
     parser.add_argument("--protocols", default=",".join(ALL_PROTOCOLS),
                         help="comma-separated protocol subset")
     parser.add_argument("--workloads",
-                        default=",".join(ADVERSARIAL_WORKLOADS),
-                        help="comma-separated adversarial workload subset")
+                        default=",".join(EXPLORER_WORKLOADS),
+                        help="comma-separated adversarial workload subset "
+                             "(flat generators and phased programs)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized sweep (2 seeds, shorter streams)")
     parser.add_argument("--jobs", type=int, default=1,

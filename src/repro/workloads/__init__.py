@@ -1,5 +1,6 @@
-"""Workload generation: synthetic commercial models, microbenchmarks,
-and trace record/replay."""
+"""Workload generation: synthetic commercial models, structured sharing
+patterns, phase-structured programs, microbenchmarks, and trace
+record/replay."""
 
 from repro.workloads.adversarial import (
     ADVERSARIAL_WORKLOADS,
@@ -18,10 +19,23 @@ from repro.workloads.microbench import (
     contended_sharing_spec,
     memory_pressure_spec,
 )
+from repro.workloads.patterns import (
+    PATTERN_KINDS,
+    PatternSpec,
+    pattern_ops,
+    pattern_stats,
+)
+from repro.workloads.programs import (
+    ADVERSARIAL_PROGRAMS,
+    CAMPAIGN_PROGRAMS,
+    WorkloadProgram,
+    phase_stream,
+)
 from repro.workloads.synthetic import (
     WorkloadSpec,
     generate_stream,
     generate_streams,
+    stream_ops,
     stream_stats,
 )
 from repro.workloads.trace import (
@@ -32,11 +46,16 @@ from repro.workloads.trace import (
 )
 
 __all__ = [
+    "ADVERSARIAL_PROGRAMS",
     "ADVERSARIAL_WORKLOADS",
     "APACHE",
+    "CAMPAIGN_PROGRAMS",
     "COMMERCIAL_WORKLOADS",
     "OLTP",
+    "PATTERN_KINDS",
+    "PatternSpec",
     "SPECJBB",
+    "WorkloadProgram",
     "WorkloadSpec",
     "arbiter_contention_streams",
     "contended_sharing_spec",
@@ -50,5 +69,9 @@ __all__ = [
     "load_streams",
     "loads_streams",
     "memory_pressure_spec",
+    "pattern_ops",
+    "pattern_stats",
+    "phase_stream",
+    "stream_ops",
     "stream_stats",
 ]

@@ -1,0 +1,349 @@
+"""Phase-structured workload programs.
+
+A :class:`WorkloadProgram` sequences *phases* over time: each phase is
+either a :class:`~repro.workloads.synthetic.WorkloadSpec` (a stationary
+category mix) or a :class:`~repro.workloads.patterns.PatternSpec` (a
+structured sharing pattern), and the program plays them back to back —
+warmup → contention burst → streaming scan → recovery, or any other
+shape a scenario calls for.  This is the time axis the static category
+mixes cannot express: the population of misses *shifts* mid-run, which
+is exactly where protocol rankings flip
+(``benchmarks/bench_workload_suite.py``).
+
+Streams are produced lazily: :meth:`WorkloadProgram.streams` returns
+per-processor *generators* chaining the phases, and sequencers consume
+iterators, so a million-op program never materializes as a list.
+Generation is a pure function of ``(program, n_procs, seed)`` — the
+same program replays bit-identically, campaign scenarios
+content-address it through :meth:`to_dict`, and
+:func:`~repro.workloads.trace.dump_streams` accepts the generators
+directly for trace capture.
+
+Each phase's RNG stream is salted with the program name and phase
+index, so two phases sharing one spec still produce distinct
+operations, and reordering phases changes the program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Union
+
+from repro.processor.sequencer import MemoryOp
+from repro.workloads.patterns import PatternSpec, pattern_ops
+from repro.workloads.synthetic import WorkloadSpec, stream_ops
+
+PhaseSpec = Union[WorkloadSpec, PatternSpec]
+
+
+def phase_stream(
+    phase: PhaseSpec,
+    proc: int,
+    n_procs: int,
+    seed: int,
+    block_bytes: int = 64,
+    salt: tuple = (),
+) -> Iterator[MemoryOp]:
+    """One phase's operation stream (dispatch over the two spec kinds)."""
+    if isinstance(phase, PatternSpec):
+        return pattern_ops(phase, proc, n_procs, seed, block_bytes, salt)
+    return stream_ops(phase, proc, n_procs, seed, block_bytes, salt)
+
+
+@dataclasses.dataclass
+class WorkloadProgram:
+    """A named sequence of workload phases, played per processor."""
+
+    name: str
+    phases: list
+    #: Ops per "transaction" for the runtime metric (cycles/transaction).
+    ops_per_transaction: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a program needs at least one phase")
+        for phase in self.phases:
+            if not isinstance(phase, (WorkloadSpec, PatternSpec)):
+                raise TypeError(
+                    "phases must be WorkloadSpec or PatternSpec, got "
+                    f"{type(phase).__name__}"
+                )
+
+    @property
+    def ops_per_proc(self) -> int:
+        """Total stream length per processor (sum over phases)."""
+        return sum(phase.ops_per_proc for phase in self.phases)
+
+    def phase_boundaries(self) -> list[tuple[str, int, int]]:
+        """``(phase name, first op index, one past last)`` per phase."""
+        boundaries = []
+        start = 0
+        for phase in self.phases:
+            end = start + phase.ops_per_proc
+            boundaries.append((phase.name, start, end))
+            start = end
+        return boundaries
+
+    def iter_stream(
+        self, proc: int, n_procs: int, seed: int, block_bytes: int = 64
+    ) -> Iterator[MemoryOp]:
+        """Lazily yield processor ``proc``'s ops across every phase."""
+        for index, phase in enumerate(self.phases):
+            yield from phase_stream(
+                phase, proc, n_procs, seed, block_bytes,
+                salt=("program", self.name, index),
+            )
+
+    def streams(
+        self, n_procs: int, seed: int, block_bytes: int = 64
+    ) -> dict[int, Iterator[MemoryOp]]:
+        """Per-processor stream *generators* (what sequencers consume)."""
+        return {
+            proc: self.iter_stream(proc, n_procs, seed, block_bytes)
+            for proc in range(n_procs)
+        }
+
+    def materialize(
+        self, n_procs: int, seed: int, block_bytes: int = 64
+    ) -> dict[int, list[MemoryOp]]:
+        """Streams as lists (tests, traces, and the explorer use this)."""
+        return {
+            proc: list(self.iter_stream(proc, n_procs, seed, block_bytes))
+            for proc in range(n_procs)
+        }
+
+    def isolate_phase(self, index: int) -> "WorkloadProgram":
+        """A single-phase program measuring one phase on its own.
+
+        The benchmark suite compares protocols *per phase* this way
+        (cold start per phase, like any other workload); the isolated
+        program is named ``<program>@<phase>`` so results stay
+        attributable to their parent.
+        """
+        phase = self.phases[index]
+        return WorkloadProgram(
+            name=f"{self.name}@{phase.name}",
+            phases=[phase],
+            ops_per_transaction=self.ops_per_transaction,
+        )
+
+    def scaled(self, ops_per_proc: int) -> "WorkloadProgram":
+        """Program resized to roughly ``ops_per_proc``, proportionally.
+
+        Every phase keeps its share of the total (minimum one op), so a
+        smoke-sized slice still exercises every phase transition.
+        """
+        if ops_per_proc < 1:
+            raise ValueError("ops_per_proc must be >= 1")
+        total = self.ops_per_proc
+        phases = [
+            phase.scaled(max(1, phase.ops_per_proc * ops_per_proc // total))
+            for phase in self.phases
+        ]
+        return dataclasses.replace(self, phases=phases)
+
+    def to_dict(self) -> dict:
+        """JSON document (content-addressable; see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "ops_per_transaction": self.ops_per_transaction,
+            "phases": [
+                {"pattern": dataclasses.asdict(phase)}
+                if isinstance(phase, PatternSpec)
+                else {"workload": dataclasses.asdict(phase)}
+                for phase in self.phases
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadProgram":
+        phases: list[PhaseSpec] = []
+        for entry in payload["phases"]:
+            if "pattern" in entry:
+                phases.append(PatternSpec(**entry["pattern"]))
+            elif "workload" in entry:
+                phases.append(WorkloadSpec(**entry["workload"]))
+            else:
+                raise ValueError(
+                    "phase entry must hold 'pattern' or 'workload'"
+                )
+        return cls(
+            name=payload["name"],
+            phases=phases,
+            ops_per_transaction=payload.get("ops_per_transaction", 100),
+        )
+
+
+# ----------------------------------------------------------------------
+# Named programs: the campaign/bench sweep set
+# ----------------------------------------------------------------------
+
+
+def _mix(name: str, base: WorkloadSpec, ops: int) -> WorkloadSpec:
+    return dataclasses.replace(base, name=name, ops_per_proc=ops)
+
+
+def _streaming_scan(name: str, ops: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        ops_per_proc=ops,
+        migratory_weight=0.0,
+        producer_consumer_weight=0.0,
+        read_mostly_weight=0.0,
+        private_weight=0.0,
+        streaming_weight=1.0,
+        think_min_ns=4.0,
+        think_max_ns=24.0,
+    )
+
+
+def _contention_burst(name: str, ops: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        ops_per_proc=ops,
+        migratory_weight=1.0,
+        producer_consumer_weight=0.0,
+        read_mostly_weight=0.0,
+        private_weight=0.0,
+        streaming_weight=0.0,
+        n_migratory_blocks=48,
+        think_min_ns=2.0,
+        think_max_ns=16.0,
+    )
+
+
+def _campaign_programs() -> dict[str, WorkloadProgram]:
+    from repro.workloads.commercial import APACHE, OLTP
+
+    web_daycycle = WorkloadProgram(
+        "web_daycycle",
+        [
+            _mix("warmup", APACHE, 100),
+            PatternSpec(
+                "traffic_spike", "rotating_hotspot",
+                ops_per_proc=120, n_blocks=32, hot_blocks=4,
+                rotation_period=24, write_prob=0.4,
+            ),
+            _streaming_scan("log_scan", 80),
+            _mix("recovery", APACHE, 100),
+        ],
+    )
+    lock_handoff = WorkloadProgram(
+        "lock_handoff",
+        [
+            _mix("warmup", OLTP, 100),
+            PatternSpec(
+                "pipeline", "producer_group_handoff",
+                ops_per_proc=120, n_blocks=32, group_size=4,
+                rotation_period=24,
+            ),
+            PatternSpec(
+                "barrier_sweep", "barrier_all_touch",
+                ops_per_proc=80, n_blocks=24,
+            ),
+            _mix("recovery", OLTP, 100),
+        ],
+    )
+    scan_vs_contend = WorkloadProgram(
+        "scan_vs_contend",
+        [
+            _contention_burst("contention_burst", 140),
+            _streaming_scan("streaming_scan", 140),
+            PatternSpec(
+                "stride_churn", "false_sharing_stride",
+                ops_per_proc=120, n_blocks=24, stride_blocks=5,
+            ),
+        ],
+    )
+    return {
+        program.name: program
+        for program in (web_daycycle, lock_handoff, scan_vs_contend)
+    }
+
+
+#: The declared program sweep set (the ``workloads`` campaign preset).
+CAMPAIGN_PROGRAMS: dict[str, WorkloadProgram] = _campaign_programs()
+
+
+# ----------------------------------------------------------------------
+# Adversarial programs: phased workloads for the schedule explorer
+# ----------------------------------------------------------------------
+
+
+def _phase_sizes(total: int, n_phases: int) -> list[int]:
+    """Split ``total`` ops over up to ``n_phases`` phases, exactly.
+
+    Early phases get the remainder; zero-sized phases are dropped, so a
+    shrunk scenario (``ops_per_proc`` below the phase count) still runs
+    exactly the requested number of operations.
+    """
+    sizes = [
+        total // n_phases + (1 if i < total % n_phases else 0)
+        for i in range(n_phases)
+    ]
+    return [size for size in sizes if size > 0]
+
+
+def _phase_shift_streams(
+    seed: int, n_procs: int, ops_per_proc: int, block_bytes: int = 64
+) -> dict[int, list[MemoryOp]]:
+    """Hotspot → stride-false-sharing → group handoff, explorer-scaled.
+
+    Tiny pools (8 blocks, 2 per set of the explorer's 4-set L2) keep
+    eviction pressure legal while every phase boundary re-aims the
+    contention at a different block population mid-schedule.
+    """
+    builders = [
+        lambda ops: PatternSpec(
+            "hotspot", "rotating_hotspot", ops_per_proc=ops,
+            n_blocks=8, hot_blocks=2, rotation_period=8,
+            think_max_ns=10.0,
+        ),
+        lambda ops: PatternSpec(
+            "stride", "false_sharing_stride", ops_per_proc=ops,
+            n_blocks=8, stride_blocks=3, think_max_ns=10.0,
+        ),
+        lambda ops: PatternSpec(
+            "handoff", "producer_group_handoff", ops_per_proc=ops,
+            n_blocks=8, group_size=2, rotation_period=8,
+            think_max_ns=10.0,
+        ),
+    ]
+    sizes = _phase_sizes(ops_per_proc, len(builders))
+    program = WorkloadProgram(
+        "phase_shift",
+        [build(ops) for build, ops in zip(builders, sizes)],
+    )
+    return program.materialize(n_procs, seed, block_bytes)
+
+
+def _barrier_storm_streams(
+    seed: int, n_procs: int, ops_per_proc: int, block_bytes: int = 64
+) -> dict[int, list[MemoryOp]]:
+    """All-touch barrier sweeps collapsing into a rotating hotspot."""
+    builders = [
+        lambda ops: PatternSpec(
+            "barrier", "barrier_all_touch", ops_per_proc=ops,
+            n_blocks=8, think_max_ns=10.0,
+        ),
+        lambda ops: PatternSpec(
+            "collapse", "rotating_hotspot", ops_per_proc=ops,
+            n_blocks=8, hot_blocks=2, rotation_period=6,
+            write_prob=0.6, think_max_ns=10.0,
+        ),
+    ]
+    sizes = _phase_sizes(ops_per_proc, len(builders))
+    program = WorkloadProgram(
+        "barrier_storm",
+        [build(ops) for build, ops in zip(builders, sizes)],
+    )
+    return program.materialize(n_procs, seed, block_bytes)
+
+
+#: Phased adversarial workloads, same signature as the generators in
+#: :data:`repro.workloads.adversarial.ADVERSARIAL_WORKLOADS` — the
+#: explorer sweeps both registries with all oracles armed.
+ADVERSARIAL_PROGRAMS = {
+    "phase_shift": _phase_shift_streams,
+    "barrier_storm": _barrier_storm_streams,
+}

@@ -116,15 +116,34 @@ class _Pools:
         }
 
 
-def generate_stream(
+def stream_ops(
     spec: WorkloadSpec,
     proc: int,
     n_procs: int,
     seed: int,
     block_bytes: int = 64,
-) -> list[MemoryOp]:
-    """Generate processor ``proc``'s operation stream deterministically."""
-    rng = derive_rng(seed, "workload", spec.name, n_procs, proc)
+    salt: tuple = (),
+) -> Iterator[MemoryOp]:
+    """Yield processor ``proc``'s operation stream deterministically.
+
+    This is the generator form :func:`generate_stream` materializes:
+    sequencers consume iterators, so million-op streams can be fed
+    straight from here (or from a
+    :class:`~repro.workloads.programs.WorkloadProgram` chaining several
+    specs) without ever existing as lists.  ``salt`` namespaces the RNG
+    stream — a program passes its name and phase index so two phases
+    sharing one spec still produce distinct operations.
+
+    Exactly ``spec.ops_per_proc`` operations are yielded.  A migratory
+    load/store pair is only generated when both halves fit: when a
+    single slot remains, the slot is filled from the renormalized rest
+    of the category mix (or, for an all-migratory spec, with a
+    standalone read probe of a hot block) rather than truncating the
+    pair — truncation used to drop the ``depends_on_prev=True`` store,
+    leaving a lock acquire with no release and skewing the write
+    fraction.
+    """
+    rng = derive_rng(seed, "workload", spec.name, n_procs, proc, *salt)
     pools = _Pools(spec, n_procs)
     weights = spec.category_weights()
     categories = list(weights)
@@ -135,6 +154,17 @@ def generate_stream(
         acc += weights[category] / total
         cumulative.append(acc)
 
+    # Renormalized mix over the non-migratory categories, used only for
+    # the final slot when a load/store pair no longer fits.
+    other_categories = [c for c in categories if c != "migratory"]
+    other_total = sum(weights[c] for c in other_categories)
+    other_cumulative: list[float] = []
+    acc = 0.0
+    if other_total > 0:
+        for category in other_categories:
+            acc += weights[category] / other_total
+            other_cumulative.append(acc)
+
     def pick_category() -> str:
         roll = rng.random()
         for category, bound in zip(categories, cumulative):
@@ -142,40 +172,68 @@ def generate_stream(
                 return category
         return categories[-1]
 
+    def pick_other_category() -> str:
+        roll = rng.random()
+        for category, bound in zip(other_categories, other_cumulative):
+            if roll <= bound:
+                return category
+        return other_categories[-1]
+
     def think() -> float:
         return rng.uniform(spec.think_min_ns, spec.think_max_ns)
 
     def address(block: int) -> int:
         return block * block_bytes
 
-    ops: list[MemoryOp] = []
+    emitted = 0
+    n_ops = spec.ops_per_proc
     streaming_next = pools.streaming_base[proc]
-    while len(ops) < spec.ops_per_proc:
+    while emitted < n_ops:
         category = pick_category()
         if category == "migratory":
-            block = rng.choice(pools.migratory)
-            # Lock-style read-modify-write: the store depends on the load.
-            ops.append(MemoryOp(address(block), False, think()))
-            ops.append(
-                MemoryOp(address(block), True, 2.0, depends_on_prev=True)
-            )
-        elif category == "producer_consumer":
+            if n_ops - emitted >= 2:
+                block = rng.choice(pools.migratory)
+                # Lock-style read-modify-write: store depends on load.
+                yield MemoryOp(address(block), False, think())
+                yield MemoryOp(address(block), True, 2.0, depends_on_prev=True)
+                emitted += 2
+                continue
+            if not other_cumulative:
+                # All-migratory spec with one slot left: a standalone
+                # read probe of a hot block (no dangling dependent store).
+                block = rng.choice(pools.migratory)
+                yield MemoryOp(address(block), False, think())
+                emitted += 1
+                continue
+            category = pick_other_category()
+        if category == "producer_consumer":
             block = rng.choice(pools.producer_consumer)
             producer = block % n_procs
-            ops.append(MemoryOp(address(block), proc == producer, think()))
+            yield MemoryOp(address(block), proc == producer, think())
         elif category == "read_mostly":
             block = rng.choice(pools.read_mostly)
             is_write = rng.random() < spec.read_mostly_write_prob
-            ops.append(MemoryOp(address(block), is_write, think()))
+            yield MemoryOp(address(block), is_write, think())
         elif category == "private":
             block = rng.choice(pools.private[proc])
             is_write = rng.random() < spec.private_write_prob
-            ops.append(MemoryOp(address(block), is_write, think()))
+            yield MemoryOp(address(block), is_write, think())
         else:  # streaming
             block = streaming_next
             streaming_next += 1
-            ops.append(MemoryOp(address(block), False, think()))
-    return ops[: spec.ops_per_proc]
+            yield MemoryOp(address(block), False, think())
+        emitted += 1
+
+
+def generate_stream(
+    spec: WorkloadSpec,
+    proc: int,
+    n_procs: int,
+    seed: int,
+    block_bytes: int = 64,
+) -> list[MemoryOp]:
+    """Generate processor ``proc``'s operation stream as a list."""
+    return list(stream_ops(spec, proc, n_procs, seed, block_bytes))
 
 
 def generate_streams(

@@ -4,42 +4,56 @@ The paper replays checkpointed commercial-workload traces; we provide
 the equivalent plumbing so a generated (or hand-written) stream can be
 saved to a portable text format and replayed bit-identically — useful
 for regression tests and for comparing protocols on exactly the same
-input without regenerating it.
+input without regenerating it.  The round trip is exact:
+``loads_streams(dumps_streams(s)) == s`` for any stream, because think
+times are written with ``repr`` (shortest string that parses back to
+the identical float), not a fixed decimal precision.
 
 Format: one operation per line, ``proc addr R|W think depends`` with a
-``#`` comment header.
+``#`` comment header.  The v2 header marks the full-precision think
+times; v1 traces (written with three decimal places) still load — their
+ops simply carry the rounded think times they were saved with.
+
+Streams are written one operation at a time, so generator-produced
+streams (:meth:`repro.workloads.programs.WorkloadProgram.streams`) dump
+without ever materializing as lists.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
+from typing import Iterable, Mapping
 
 from repro.processor.sequencer import MemoryOp
 
-_HEADER = "# repro-trace-v1"
+_HEADER = "# repro-trace-v2"
+#: Older traces wrote think times rounded to 3 decimals; still readable.
+_V1_HEADER = "# repro-trace-v1"
 
 
-def dump_streams(streams: dict[int, list[MemoryOp]], path: str | Path) -> None:
+def dump_streams(
+    streams: Mapping[int, Iterable[MemoryOp]], path: str | Path
+) -> None:
     """Write per-processor streams to a trace file."""
     with open(path, "w", encoding="utf-8") as handle:
         _write(streams, handle)
 
 
-def dumps_streams(streams: dict[int, list[MemoryOp]]) -> str:
+def dumps_streams(streams: Mapping[int, Iterable[MemoryOp]]) -> str:
     buffer = io.StringIO()
     _write(streams, buffer)
     return buffer.getvalue()
 
 
-def _write(streams: dict[int, list[MemoryOp]], handle) -> None:
+def _write(streams: Mapping[int, Iterable[MemoryOp]], handle) -> None:
     handle.write(_HEADER + "\n")
     for proc in sorted(streams):
         for op in streams[proc]:
             kind = "W" if op.is_write else "R"
             depends = 1 if op.depends_on_prev else 0
             handle.write(
-                f"{proc} {op.address:#x} {kind} {op.think_ns:.3f} {depends}\n"
+                f"{proc} {op.address:#x} {kind} {op.think_ns!r} {depends}\n"
             )
 
 
@@ -51,7 +65,7 @@ def load_streams(path: str | Path) -> dict[int, list[MemoryOp]]:
 
 def loads_streams(text: str) -> dict[int, list[MemoryOp]]:
     lines = text.splitlines()
-    if not lines or lines[0].strip() != _HEADER:
+    if not lines or lines[0].strip() not in (_HEADER, _V1_HEADER):
         raise ValueError(f"not a repro trace (expected {_HEADER!r} header)")
     streams: dict[int, list[MemoryOp]] = {}
     for lineno, line in enumerate(lines[1:], start=2):

@@ -111,10 +111,14 @@ def test_presets_declare_expected_scales():
     # 45 historic standard-grid cases plus the ablation variants.
     assert len(figures.cases()) >= 45
     explorer = presets.explorer_spec(seeds=2)
-    # 2 seeds x 13 legal grid points x 4 adversarial workloads.
-    assert len(explorer.cases()) == 104
+    # 2 seeds x 13 legal grid points x 6 adversarial workloads (4 flat
+    # generators + 2 phased programs).
+    assert len(explorer.cases()) == 156
+    # Programs x the performance grid, plus per-phase isolation points.
+    assert len(presets.workloads_spec().cases()) == 66
+    assert len(presets.workloads_spec(smoke=True).cases()) == 15
     differential = presets.differential_spec(seeds=3)
-    assert len(differential.cases()) == 12
+    assert len(differential.cases()) == 18
     assert len(presets.smoke_spec().cases()) == 10
     # The predict tradeoff grid: 3 workloads x (7 full-bandwidth + 3
     # constrained-bandwidth variants).

@@ -1,5 +1,7 @@
 """Bandwidth-adaptive hybrid: utilization estimate and mode switching."""
 
+import pytest
+
 from repro.config import SystemConfig
 from repro.interconnect import build_interconnect
 from repro.predict.hybrid import BandwidthAdaptivePolicy
@@ -53,6 +55,39 @@ def test_unlimited_bandwidth_always_broadcasts():
         link.occupy(10**6, "data")
     assert policy.utilization() == 0.0
     assert not policy.prefers_multicast()
+
+
+def test_mixed_bandwidth_links_normalize_over_limited_ones():
+    """An unlimited first link must not mask saturated later links: the
+    estimate skips unlimited links per-link and averages the rest."""
+    from repro.interconnect.link import Link
+
+    sim = Simulator()
+    links = [
+        Link(sim, "free", 15.0, None),
+        Link(sim, "narrow-a", 15.0, 0.8),
+        Link(sim, "narrow-b", 15.0, 0.8),
+    ]
+    policy = BandwidthAdaptivePolicy(sim, links, 0.25, 200.0)
+    assert policy.utilization() == 0.0
+    links[0].occupy(10**6, "data")  # unlimited: no backlog, ignored
+    assert policy.utilization() == 0.0
+    links[1].occupy(1024, "data")  # 1024 B / 0.8 B/ns = 1280 ns >> window
+    # One of two *limited* links pinned at the window cap: mean 0.5.
+    assert policy.utilization() == 0.5
+    assert policy.prefers_multicast()
+    links[2].occupy(1024, "data")
+    assert policy.utilization() == 1.0
+
+
+def test_mixed_bandwidth_partial_backlog_is_window_normalized():
+    from repro.interconnect.link import Link
+
+    sim = Simulator()
+    links = [Link(sim, "free", 15.0, None), Link(sim, "narrow", 15.0, 3.2)]
+    policy = BandwidthAdaptivePolicy(sim, links, 0.25, 200.0)
+    links[1].occupy(256, "data")  # 80 ns backlog over a 200 ns window
+    assert policy.utilization() == pytest.approx(0.4)
 
 
 def test_adaptive_tokenm_runs_and_switches_modes():

@@ -232,7 +232,9 @@ op_strategy = st.builds(
     MemoryOp,
     address=st.integers(min_value=0, max_value=2**40).map(lambda a: a & ~0x3F),
     is_write=st.booleans(),
-    think_ns=st.floats(min_value=0, max_value=1000).map(lambda f: round(f, 3)),
+    # Arbitrary-precision think times: the round trip is bit-identical,
+    # with no decimal rounding anywhere in the format.
+    think_ns=st.floats(min_value=0, max_value=1000),
     depends_on_prev=st.booleans(),
 )
 
@@ -250,3 +252,43 @@ def test_trace_round_trip(streams):
     text = dumps_streams(streams)
     restored = loads_streams(text)
     assert restored == streams
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    n_procs=st.integers(min_value=1, max_value=4),
+    ops=st.integers(min_value=1, max_value=60),
+)
+@settings(max_examples=25, deadline=None)
+def test_generated_stream_trace_round_trip_is_identity(seed, n_procs, ops):
+    """dump → load of any generated stream reproduces it exactly —
+    generated think times carry full float precision."""
+    from repro.workloads.commercial import OLTP
+    from repro.workloads.synthetic import generate_streams
+
+    streams = generate_streams(OLTP.scaled(ops), n_procs, seed)
+    assert loads_streams(dumps_streams(streams)) == streams
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    ops=st.integers(min_value=1, max_value=61),
+)
+@settings(max_examples=25, deadline=None)
+def test_all_migratory_streams_never_split_pairs(seed, ops):
+    """Any stream length (odd included) with migratory_weight=1.0 ends
+    without a dangling half of a load/store pair."""
+    from repro.workloads.microbench import contended_sharing_spec
+    from repro.workloads.synthetic import generate_stream
+
+    stream = generate_stream(
+        contended_sharing_spec(ops_per_proc=ops), 0, 4, seed
+    )
+    assert len(stream) == ops
+    for prev, op in zip(stream, stream[1:]):
+        if op.depends_on_prev:
+            assert op.is_write and not prev.is_write
+            assert op.address == prev.address
+    # A stream never ends on the load half of a pair expecting a store:
+    # writes are exactly pairs' stores.
+    assert sum(op.is_write for op in stream) == ops // 2

@@ -13,7 +13,9 @@ from repro.testing.differential import (
 from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
 
 
-@pytest.mark.parametrize("workload", sorted(ADVERSARIAL_WORKLOADS))
+@pytest.mark.parametrize(
+    "workload", sorted(ADVERSARIAL_WORKLOADS) + ["phase_shift"]
+)
 def test_all_protocols_agree_on_adversarial_workloads(workload):
     report = run_differential(workload, seed=0, ops_per_proc=24)
     assert report["agreed"], report["mismatches"]

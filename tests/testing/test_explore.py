@@ -7,6 +7,7 @@ import pytest
 
 from repro.system.grid import protocol_grid
 from repro.testing.explore import (
+    EXPLORER_WORKLOADS,
     Scenario,
     explore,
     explore_campaign,
@@ -18,6 +19,7 @@ from repro.testing.explore import (
 )
 from repro.testing.perturb import PerturbSpec
 from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+from repro.workloads.programs import ADVERSARIAL_PROGRAMS
 
 
 def test_scenario_roundtrips_through_dict():
@@ -44,11 +46,38 @@ def test_unknown_workload_rejected():
 
 def test_grid_covers_all_protocols_topologies_and_workloads():
     scenarios = scenario_grid(seeds=range(2))
-    # 13 legal (protocol, interconnect) pairs x 4 workloads x 2 seeds.
-    assert len(scenarios) == 2 * 13 * 4
+    # 13 legal (protocol, interconnect) pairs x 6 workloads (4 flat
+    # generators + 2 phased adversarial programs) x 2 seeds.
+    assert len(scenarios) == 2 * 13 * 6
     seen = {(s.protocol, s.interconnect) for s in scenarios}
     assert seen == set(protocol_grid())
-    assert {s.workload for s in scenarios} == set(ADVERSARIAL_WORKLOADS)
+    assert {s.workload for s in scenarios} == set(EXPLORER_WORKLOADS)
+    assert set(EXPLORER_WORKLOADS) == (
+        set(ADVERSARIAL_WORKLOADS) | set(ADVERSARIAL_PROGRAMS)
+    )
+
+
+def test_phased_program_scenarios_run_with_all_oracles_armed():
+    """Adversarial programs face the same perturbed sweep as the flat
+    generators: perturbations live, every oracle clean."""
+    scenarios = scenario_grid(
+        seeds=[0], protocols=("tokenb",),
+        workloads=("phase_shift", "barrier_storm"),
+    )
+    assert all(s.perturb.drop_request_prob > 0 for s in scenarios)
+    report = explore(scenarios)
+    assert report["scenarios"] == 4  # 2 programs x torus + tree
+    assert report["violation_count"] == 0
+    assert report["totals"]["events_fired"] > 0
+
+
+def test_program_scenario_round_trips_through_repro_dict():
+    scenario = make_scenario(3, "tokenm", "torus", "phase_shift")
+    restored = Scenario.from_dict(scenario.to_dict())
+    assert restored == scenario
+    first = run_scenario(scenario)
+    second = run_scenario(restored)
+    assert first == second
 
 
 def test_token_scenarios_get_full_adversarial_treatment():

@@ -51,6 +51,45 @@ def test_migratory_pairs_are_dependent_rmw():
         assert load.address == store.address
 
 
+def test_odd_length_all_migratory_stream_has_no_split_pair():
+    """The truncation-boundary case: migratory_weight=1.0 with an odd
+    ops_per_proc used to drop a pair's dependent store; now the final
+    slot is a standalone read probe and the write count stays pairs'."""
+    spec = contended_sharing_spec(ops_per_proc=51)
+    for seed in range(5):
+        stream = generate_stream(spec, 0, 4, seed=seed)
+        assert len(stream) == 51
+        assert sum(op.is_write for op in stream) == 25
+        last = stream[-1]
+        assert not last.is_write and not last.depends_on_prev
+        for prev, op in zip(stream, stream[1:]):
+            if op.depends_on_prev:
+                assert op.is_write and prev.address == op.address
+
+
+def test_mixed_spec_boundary_falls_back_to_other_categories():
+    """With other categories available, a final-slot migratory pick is
+    re-rolled over the renormalized rest of the mix — never truncated."""
+    spec = dataclasses.replace(
+        OLTP, ops_per_proc=1, migratory_weight=0.999999,
+        producer_consumer_weight=0.0, read_mostly_weight=0.0,
+        private_weight=0.000001, streaming_weight=0.0,
+    )
+    for seed in range(20):
+        stream = generate_stream(spec, 0, 4, seed=seed)
+        assert len(stream) == 1
+        assert not stream[0].depends_on_prev
+
+
+def test_stream_ops_generator_matches_list_form():
+    from repro.workloads.synthetic import stream_ops
+
+    spec = OLTP.scaled(80)
+    assert list(stream_ops(spec, 1, 4, seed=6)) == generate_stream(
+        spec, 1, 4, seed=6
+    )
+
+
 def test_streaming_spec_never_repeats_blocks():
     spec = memory_pressure_spec(ops_per_proc=100)
     stream = generate_stream(spec, 1, 4, seed=5)

@@ -48,6 +48,43 @@ def test_bad_op_kind_rejected():
 
 
 def test_comments_and_blank_lines_skipped():
-    text = "# repro-trace-v1\n\n# comment\n0 0x1000 W 1.0 1\n"
+    text = "# repro-trace-v2\n\n# comment\n0 0x1000 W 1.0 1\n"
     streams = loads_streams(text)
     assert streams == {0: [MemoryOp(0x1000, True, 1.0, True)]}
+
+
+def test_full_precision_think_times_round_trip():
+    """Think times that do not fit in 3 decimals survive exactly."""
+    streams = {
+        0: [
+            MemoryOp(0x1000, False, 0.1 + 0.2),  # 0.30000000000000004
+            MemoryOp(0x1040, True, 1e-9),
+            MemoryOp(0x1080, False, 12345.678901234567),
+        ]
+    }
+    assert loads_streams(dumps_streams(streams)) == streams
+
+
+def test_v1_traces_still_load():
+    """Pre-precision-fix traces (3-decimal think times) remain readable."""
+    text = "# repro-trace-v1\n0 0x1000 R 5.250 0\n2 0x2000 W 0.001 1\n"
+    streams = loads_streams(text)
+    assert streams == {
+        0: [MemoryOp(0x1000, False, 5.25)],
+        2: [MemoryOp(0x2000, True, 0.001, True)],
+    }
+
+
+def test_dump_writes_v2_header():
+    assert dumps_streams(sample_streams()).startswith("# repro-trace-v2\n")
+
+
+def test_dump_accepts_generator_streams():
+    def ops():
+        yield MemoryOp(0x1000, False, 3.5)
+        yield MemoryOp(0x1040, True, 0.25, True)
+
+    text = dumps_streams({0: ops()})
+    assert loads_streams(text) == {
+        0: [MemoryOp(0x1000, False, 3.5), MemoryOp(0x1040, True, 0.25, True)]
+    }
