@@ -48,7 +48,7 @@ def resolve_spec(name: str, args) -> CampaignSpec:
         known = ", ".join(sorted(presets.SPEC_BUILDERS))
         raise SystemExit(f"unknown spec {name!r} (known: {known}, or a .json file)")
     kwargs = {}
-    if name == "explorer":
+    if name in ("explorer", "faults"):
         kwargs = dict(
             seeds=args.seeds, seed_base=args.seed_base, smoke=args.smoke
         )
@@ -185,7 +185,10 @@ def cmd_report(args) -> int:
         if text is None:
             text = _generic_simulate_report(cases, store)
     elif spec.kind == "explore":
-        text = _explore_report(cases, store)
+        if spec.name == "faults":
+            text = _resilience_report(cases, store)
+        else:
+            text = _explore_report(cases, store)
     else:
         text = _differential_report(cases, store)
     print(text)
@@ -231,6 +234,66 @@ def _explore_report(cases, store: CampaignStore) -> str:
     return json.dumps(report, indent=2, sort_keys=True)
 
 
+def _fault_classes_of(params: dict) -> str:
+    """The fault classes a scenario document schedules, as a label."""
+    kinds = sorted(
+        {event["kind"] for event in params.get("faults", {}).get("events", ())}
+    )
+    return "+".join(kinds) if kinds else "none"
+
+
+def _resilience_report(cases, store: CampaignStore) -> str:
+    """Per (fault class, protocol/topology): recovery time and escalations.
+
+    Time-to-recovery is how long past the last fault window the system
+    still needed to finish; escalations are the persistent requests the
+    safety net fired — the paper's prediction is that token protocols
+    lean on exactly that machinery to ride out the fault, so the counts
+    should rise with fault pressure while violations stay at zero.
+    """
+    groups: dict[tuple[str, str], dict] = {}
+    for case in cases:
+        result = store.get(case.key)["result"]
+        params = case.params
+        key = (
+            _fault_classes_of(params),
+            f"{params.get('protocol')}/{params.get('interconnect')}",
+        )
+        group = groups.setdefault(
+            key,
+            {"runs": 0, "violations": 0, "recovery": [],
+             "persistent": 0, "reissued": 0},
+        )
+        group["runs"] += 1
+        if not result.get("ok", True):
+            group["violations"] += 1
+        group["recovery"].append(result.get("recovery_ns", 0.0))
+        group["persistent"] += result.get("persistent_requests", 0)
+        group["reissued"] += result.get("reissued_requests", 0)
+    lines = [
+        f"{'fault class':<14} {'protocol':<17} {'runs':>4} {'viol':>4} "
+        f"{'ttr mean':>9} {'ttr max':>9} {'persist':>7} {'reissue':>7}"
+    ]
+    total_runs = total_violations = 0
+    for key in sorted(groups):
+        group = groups[key]
+        recovery = group["recovery"]
+        total_runs += group["runs"]
+        total_violations += group["violations"]
+        lines.append(
+            f"{key[0]:<14} {key[1]:<17} {group['runs']:>4} "
+            f"{group['violations']:>4} "
+            f"{sum(recovery) / len(recovery):>9.1f} {max(recovery):>9.1f} "
+            f"{group['persistent']:>7} {group['reissued']:>7}"
+        )
+    lines.append(
+        f"{total_runs} runs, {total_violations} violations "
+        "(ttr in ns after the last fault window; persist/reissue are "
+        "summed escalation counts)"
+    )
+    return "\n".join(lines)
+
+
 def _report_table(kind: str, cases, store: CampaignStore):
     """``(headers, rows)`` of a campaign's results, for csv/markdown."""
     rows = []
@@ -266,7 +329,7 @@ def _report_table(kind: str, cases, store: CampaignStore):
         headers = [
             "protocol", "interconnect", "workload", "seed", "ok",
             "violation_type", "persistent_requests", "reissued_requests",
-            "events_fired",
+            "events_fired", "fault_classes", "recovery_ns",
         ]
         for case in cases:
             result = store.get(case.key)["result"]
@@ -281,6 +344,8 @@ def _report_table(kind: str, cases, store: CampaignStore):
                 result.get("persistent_requests", 0),
                 result.get("reissued_requests", 0),
                 result.get("events_fired", 0),
+                _fault_classes_of(params),
+                round(result.get("recovery_ns", 0.0), 1),
             ])
     elif kind == "differential":
         headers = ["workload", "seed", "reference", "agreed", "mismatches"]

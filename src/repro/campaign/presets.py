@@ -497,6 +497,52 @@ def explorer_spec(
     )
 
 
+#: Fault intensities the full resilience campaign sweeps: 1.0 keeps
+#: windows short and targeted; 2.0 doubles durations/probabilities and
+#: widens corruption to every node.
+FAULTS_INTENSITIES = (1.0, 2.0)
+
+
+def faults_spec(
+    seeds: int = 8, seed_base: int = 0, smoke: bool = False
+) -> CampaignSpec:
+    """The resilience campaign: fault intensity x protocol x topology.
+
+    Every scenario schedules one fault class on an otherwise healthy,
+    unperturbed fabric — link flaps, degraded links, corruption drops
+    (token protocols only), node pause/resume — with the recovery
+    oracles armed; ``repro.campaign report --spec faults`` renders the
+    per-fault-class resilience summary.  ``smoke=True`` is the CI
+    slice: :data:`~repro.testing.explore.SMOKE_SEEDS` seeds at base
+    intensity with the shared reduced-scale transform, run twice with
+    ``--expect-cached``.
+    """
+    from repro.testing.explore import (
+        SMOKE_SEEDS,
+        fault_scenario_grid,
+        smoke_scenarios,
+    )
+
+    if smoke:
+        scenarios = smoke_scenarios(
+            fault_scenario_grid(
+                range(seed_base, seed_base + min(seeds, SMOKE_SEEDS)),
+                intensities=(1.0,),
+            )
+        )
+    else:
+        scenarios = fault_scenario_grid(
+            range(seed_base, seed_base + seeds),
+            intensities=FAULTS_INTENSITIES,
+        )
+    return CampaignSpec(
+        name="faults",
+        kind="explore",
+        grid=[scenario.to_dict() for scenario in scenarios],
+        default_store=_default_store("campaigns/faults"),
+    )
+
+
 def differential_spec(seeds: int = 4, seed_base: int = 0, workloads=None) -> CampaignSpec:
     """Cross-protocol conformance: workloads × seeds (flat + phased)."""
     from repro.testing.explore import EXPLORER_WORKLOADS
@@ -551,6 +597,7 @@ SPEC_BUILDERS = {
     "ablations": ablations_spec,
     "predict": predict_spec,
     "explorer": explorer_spec,
+    "faults": faults_spec,
     "differential": differential_spec,
     "smoke": smoke_spec,
     "workloads": workloads_spec,

@@ -37,6 +37,7 @@ import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from repro.campaign.executors import execute_case
@@ -61,6 +62,11 @@ class RunReport:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+
+#: Pool respawns after a worker crash (``BrokenProcessPool``) before the
+#: still-unfinished cases are surfaced as failures.
+_POOL_RETRIES = 2
 
 
 def resolve_jobs(jobs: int | None, n_cases: int) -> int:
@@ -179,24 +185,68 @@ def run_campaign(
 
             pool_kwargs["mp_context"] = multiprocessing.get_context("spawn")
             pool_kwargs["max_tasks_per_child"] = max_tasks_per_child
-        by_case = {}
-        with ProcessPoolExecutor(**pool_kwargs) as pool:
-            # Submission in spec order; workers pull from the shared
-            # queue, and content-addressing + compaction make the final
-            # store independent of which worker ran what.
-            for case in missing:
-                future = pool.submit(
-                    _worker_run, (case.kind, case.params, case.fingerprint)
-                )
-                by_case[future] = case
-            for future in as_completed(by_case):
-                case = by_case[future]
-                key, ok, error = future.result()
-                if not ok:
-                    failures.append({"key": key, "error": error})
-                done += 1
-                if progress is not None:
-                    progress(done, total, case, ok, error)
+
+        # A worker dying mid-case (OOM kill, segfault, os._exit) breaks
+        # the whole pool: every in-flight future raises
+        # BrokenProcessPool.  Resumability makes a retry safe — workers
+        # flush each record as a line in their pending shard, so
+        # reloading the store recovers everything completed before the
+        # crash, and only the genuinely unfinished cases are
+        # resubmitted to a fresh pool.  After _POOL_RETRIES respawns the
+        # still-unfinished cases surface as ordinary failures.
+        remaining = list(missing)
+        for attempt in range(_POOL_RETRIES + 1):
+            try:
+                by_case = {}
+                with ProcessPoolExecutor(**pool_kwargs) as pool:
+                    # Submission in spec order; workers pull from the
+                    # shared queue, and content-addressing + compaction
+                    # make the final store independent of which worker
+                    # ran what.
+                    for case in remaining:
+                        future = pool.submit(
+                            _worker_run,
+                            (case.kind, case.params, case.fingerprint),
+                        )
+                        by_case[future] = case
+                    for future in as_completed(by_case):
+                        case = by_case[future]
+                        key, ok, error = future.result()
+                        if not ok:
+                            failures.append({"key": key, "error": error})
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, case, ok, error)
+                remaining = []
+                break
+            except BrokenProcessPool:
+                # Mark this round's in-flight cases unfinished: reload
+                # the store (picking up the crashed pool's pending
+                # shards) and keep whatever is still missing, minus the
+                # cases that already failed in an orderly way.
+                store.close()
+                store.load()
+                failed_keys = {failure["key"] for failure in failures}
+                remaining = [
+                    case
+                    for case in store.missing(remaining)
+                    if case.key not in failed_keys
+                ]
+                done = total - len(remaining)
+                if not remaining:
+                    break
+        if remaining:
+            failures.extend(
+                {
+                    "key": case.key,
+                    "error": (
+                        "BrokenProcessPool: a worker died abruptly and "
+                        f"the pool was respawned {_POOL_RETRIES} times "
+                        "without finishing this case"
+                    ),
+                }
+                for case in remaining
+            )
 
     store.close()
     if compact and store.dirty:

@@ -35,6 +35,13 @@ from repro.interconnect.message import (
     Message,
 )
 
+#: Transient performance-protocol requests.  Losing, repeating, or
+#: reordering these is explicitly covered by the paper's reissue +
+#: persistent machinery, so they are the only message types the
+#: adversarial layers (:mod:`repro.testing.perturb`, :mod:`repro.faults`)
+#: may discard on token protocols.
+TRANSIENT_REQUEST_MTYPES = ("GETS", "GETM")
+
 
 @dataclasses.dataclass(slots=True)
 class CoherenceMessage(Message):

@@ -42,6 +42,10 @@ class Link:
         # exists so a jittering subclass with ``__slots__ = ()`` can be
         # installed on a live link by ``__class__`` reassignment.
         "_perturb",
+        # Reserved for the fault-injection layer (repro.faults), same
+        # contract: the base class never reads it, a faulty subclass
+        # with ``__slots__ = ()`` does.
+        "_fault",
     )
 
     def __init__(

@@ -73,6 +73,16 @@ class Interconnect(abc.ABC):
         """
 
     @abc.abstractmethod
+    def all_links(self) -> list:
+        """Every directed link of the network, in a deterministic order.
+
+        The order is stable for a given (topology, n_nodes): the
+        adversarial layers use the position in this list as a durable
+        link address (e.g. a ``FaultEvent.target``), so replays resolve
+        the same physical link.
+        """
+
+    @abc.abstractmethod
     def outgoing_links(self, node_id: int) -> list:
         """The directed links on which ``node_id`` injects traffic.
 

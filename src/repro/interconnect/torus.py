@@ -133,6 +133,10 @@ class TorusInterconnect(Interconnect):
             for direction in self._DIRECTIONS
         ]
 
+    def all_links(self) -> list[Link]:
+        """All 4N directed links, in (node, direction) creation order."""
+        return list(self._links.values())
+
     # ------------------------------------------------------------------
     # Unicast
     # ------------------------------------------------------------------

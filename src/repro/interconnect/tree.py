@@ -178,6 +178,10 @@ class OrderedTreeInterconnect(Interconnect):
         """A node's single injection point: its uplink."""
         return [self._up[node_id]]
 
+    def all_links(self) -> list[Link]:
+        """All links: N up, G in-root, G root-out, N down (stage order)."""
+        return [*self._up, *self._in_root, *self._root_out, *self._down]
+
     def broadcast_crossings(self) -> int:
         """Link crossings per full broadcast: 2 up + groups + N down."""
         return 2 + self.n_groups + self.n_nodes

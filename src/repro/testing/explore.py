@@ -39,6 +39,14 @@ import time
 from pathlib import Path
 
 from repro.config import SystemConfig
+from repro.faults import (
+    FAULT_KINDS,
+    LOSS_FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    generate_plan,
+    link_count,
+)
 from repro.system.builder import build_system
 from repro.system.grid import ALL_PROTOCOLS, is_token_protocol, protocol_grid
 from repro.testing.mutants import MUTANTS
@@ -78,6 +86,7 @@ class Scenario:
     n_procs: int = 4
     ops_per_proc: int = 40
     perturb: PerturbSpec = dataclasses.field(default_factory=PerturbSpec)
+    faults: FaultPlan = dataclasses.field(default_factory=FaultPlan)
     config_overrides: dict = dataclasses.field(default_factory=dict)
     mutant: str | None = None
     max_events: int = 20_000_000
@@ -92,6 +101,9 @@ class Scenario:
         active = self.perturb.active_fields()
         if active:
             parts.append("perturb[" + ",".join(active) + "]")
+        kinds = self.faults.kinds()
+        if kinds:
+            parts.append("faults[" + ",".join(kinds) + "]")
         if self.mutant:
             parts.append(f"mutant={self.mutant}")
         return " ".join(parts)
@@ -99,12 +111,14 @@ class Scenario:
     def to_dict(self) -> dict:
         payload = dataclasses.asdict(self)
         payload["perturb"] = self.perturb.to_dict()
+        payload["faults"] = self.faults.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Scenario":
         payload = dict(payload)
         payload["perturb"] = PerturbSpec.from_dict(payload.get("perturb", {}))
+        payload["faults"] = FaultPlan.from_dict(payload.get("faults", {}))
         return cls(**payload)
 
 
@@ -120,6 +134,16 @@ class ScenarioOutcome:
     persistent_requests: int = 0
     reissued_requests: int = 0
     perturb_stats: dict = dataclasses.field(default_factory=dict)
+    fault_stats: dict = dataclasses.field(default_factory=dict)
+    #: Completion time of the last operation (0.0 on violation).
+    runtime_ns: float = 0.0
+    #: Time-to-recovery: how long after the last fault window closed the
+    #: system still needed to finish (0.0 when it finished first, or on
+    #: a fault-free run).
+    recovery_ns: float = 0.0
+    #: Traffic by category, for resilience cost accounting ({} on
+    #: violation).
+    traffic_bytes: dict = dataclasses.field(default_factory=dict)
 
 
 def _build_config(scenario: Scenario) -> SystemConfig:
@@ -187,6 +211,29 @@ def _post_run_oracles(system, result, expected_ops: int) -> None:
                 )
 
 
+def _recovery_oracles(system, injector: FaultInjector) -> None:
+    """Every fault window must be followed by quiescence.
+
+    By the time the event queue drains, (a) no pause gate may still
+    buffer messages — resume must have flushed them all — and (b) the
+    simulation clock must have passed the last fault window, so the
+    liveness/drainage oracles above genuinely ran *after* the faults,
+    not before them.
+    """
+    undrained = injector.undrained_nodes()
+    if undrained:
+        raise OracleError(
+            f"recovery: pause gates at nodes {undrained} still buffer "
+            "messages after the run (resume never drained them)"
+        )
+    if injector.gates and system.sim.now < injector.last_fault_end_ns():
+        raise OracleError(
+            "recovery: event queue drained at "
+            f"t={system.sim.now} before the last fault window closed "
+            f"at t={injector.last_fault_end_ns()}"
+        )
+
+
 def run_scenario(scenario: Scenario) -> ScenarioOutcome:
     """Execute one scenario with every oracle armed."""
     if scenario.workload not in EXPLORER_WORKLOADS:
@@ -200,9 +247,13 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
     perturber = Perturber(scenario.perturb)
     if scenario.perturb.any_active():
         perturber.install(system)
+    injector = FaultInjector(scenario.faults)
+    if scenario.faults.any_active():
+        injector.install(system)
     try:
         result = system.run(max_events=scenario.max_events)
         _post_run_oracles(system, result, expected_ops)
+        _recovery_oracles(system, injector)
     except (AssertionError, RuntimeError) as exc:
         return ScenarioOutcome(
             ok=False,
@@ -212,6 +263,7 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
             persistent_requests=system.counters.get("persistent_request"),
             reissued_requests=system.counters.get("reissued_request"),
             perturb_stats=dict(perturber.stats),
+            fault_stats=dict(injector.stats),
         )
     return ScenarioOutcome(
         ok=True,
@@ -220,6 +272,12 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
         persistent_requests=result.counters.get("persistent_request", 0),
         reissued_requests=result.counters.get("reissued_request", 0),
         perturb_stats=dict(perturber.stats),
+        fault_stats=dict(injector.stats),
+        runtime_ns=result.runtime_ns,
+        recovery_ns=max(
+            0.0, result.runtime_ns - scenario.faults.last_end_ns()
+        ) if scenario.faults.any_active() else 0.0,
+        traffic_bytes=dict(result.traffic_bytes),
     )
 
 
@@ -323,6 +381,95 @@ def scenario_grid(
     ]
 
 
+# ----------------------------------------------------------------------
+# Faulty-fabric scenarios
+# ----------------------------------------------------------------------
+
+#: Horizon the fault-schedule generator aims windows into.  Explorer
+#: runs (4 procs x 40 ops, small caches) finish between ~1.5k and ~7.5k
+#: ns across the grid, so windows opening in the first 60% of 2500 ns
+#: land early-to-mid run for every protocol/topology pair.
+FAULT_HORIZON_NS = 2500.0
+
+#: Fault windows scheduled per fault class in a generated scenario.
+FAULT_EVENTS_PER_KIND = 2
+
+
+def fault_classes_for(protocol: str) -> tuple[str, ...]:
+    """The fault classes legal on ``protocol`` (the legality matrix)."""
+    if is_token_protocol(protocol):
+        return FAULT_KINDS
+    return tuple(k for k in FAULT_KINDS if k not in LOSS_FAULT_KINDS)
+
+
+def make_fault_scenario(
+    seed: int,
+    protocol: str,
+    interconnect: str,
+    fault_class: str,
+    workload: str | None = None,
+    intensity: float = 1.0,
+) -> Scenario:
+    """A faulty-fabric scenario: one fault class, no perturbations.
+
+    Perturbations are deliberately off so a violation is attributable
+    to the fault windows alone; the campaign preset and the explorer
+    rotation both build on this.  The workload defaults to a rotation
+    over the adversarial set keyed by (seed, fault class), so a sweep
+    crosses every fault class with every sharing pattern.
+    """
+    if workload is None:
+        rotation = tuple(EXPLORER_WORKLOADS)
+        offset = FAULT_KINDS.index(fault_class)
+        workload = rotation[(seed + offset) % len(rotation)]
+    n_procs = 4
+    plan = generate_plan(
+        seed,
+        (fault_class,),
+        n_links=link_count(interconnect, n_procs),
+        n_nodes=n_procs,
+        horizon_ns=FAULT_HORIZON_NS,
+        events_per_kind=FAULT_EVENTS_PER_KIND,
+        intensity=intensity,
+    )
+    plan.validate_for_protocol(protocol)
+    overrides: dict = {}
+    if workload in ("eviction_storm", "writeback_churn"):
+        # Same capacity-envelope guard as make_scenario: 8 ways keep
+        # pinned lines from exhausting a set.
+        overrides["l2_assoc"] = 8
+    ops = 16 if protocol == "null-token" else 40
+    return Scenario(
+        seed=seed,
+        protocol=protocol,
+        interconnect=interconnect,
+        workload=workload,
+        n_procs=n_procs,
+        ops_per_proc=ops,
+        faults=plan,
+        config_overrides=overrides,
+    )
+
+
+def fault_scenario_grid(
+    seeds,
+    protocols=ALL_PROTOCOLS,
+    fault_classes=FAULT_KINDS,
+    intensities=(1.0,),
+) -> list[Scenario]:
+    """Seeds x protocol/topology grid x legal fault classes x intensity."""
+    return [
+        make_fault_scenario(
+            seed, protocol, interconnect, fault_class, intensity=intensity
+        )
+        for seed in seeds
+        for protocol, interconnect in protocol_grid(protocols)
+        for fault_class in fault_classes
+        if fault_class in fault_classes_for(protocol)
+        for intensity in intensities
+    ]
+
+
 #: --smoke seed count: both this module's CLI and the campaign preset's
 #: smoke mode sweep exactly this many seeds.
 SMOKE_SEEDS = 2
@@ -347,7 +494,10 @@ def summarize(scenarios, outcomes) -> dict:
     by_protocol: dict[str, int] = {}
     totals = {"persistent_requests": 0, "reissued_requests": 0,
               "dropped_requests": 0, "duplicated_requests": 0,
-              "forced_escalations": 0, "events_fired": 0}
+              "forced_escalations": 0, "events_fired": 0,
+              "flap_dropped": 0, "flap_queued": 0,
+              "degraded_crossings": 0, "corrupt_dropped": 0,
+              "paused_deliveries": 0}
     for scenario, outcome in zip(scenarios, outcomes):
         key = f"{scenario.protocol}/{scenario.interconnect}"
         by_protocol[key] = by_protocol.get(key, 0) + 1
@@ -355,6 +505,8 @@ def summarize(scenarios, outcomes) -> dict:
         totals["reissued_requests"] += outcome.reissued_requests
         totals["events_fired"] += outcome.events_fired
         for stat, value in outcome.perturb_stats.items():
+            totals[stat] += value
+        for stat, value in outcome.fault_stats.items():
             totals[stat] += value
         if not outcome.ok:
             violations.append(
@@ -485,6 +637,12 @@ def _parse_args(argv):
                              "(flat generators and phased programs)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized sweep (2 seeds, shorter streams)")
+    parser.add_argument("--faults", action="store_true",
+                        help="sweep the faulty-fabric grid instead: each "
+                             "scenario schedules one fault class (link "
+                             "flaps, degraded links, corruption drops, "
+                             "node pause/resume — the loss classes only "
+                             "where legal) with recovery oracles armed")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes via the campaign runner "
                              "(default 1 = the deterministic serial loop; "
@@ -524,7 +682,10 @@ def main(argv=None) -> int:
     )
     protocols = tuple(p for p in args.protocols.split(",") if p)
     workloads = tuple(w for w in args.workloads.split(",") if w)
-    scenarios = scenario_grid(seeds, protocols, workloads)
+    if args.faults:
+        scenarios = fault_scenario_grid(seeds, protocols)
+    else:
+        scenarios = scenario_grid(seeds, protocols, workloads)
     if args.smoke:
         scenarios = smoke_scenarios(scenarios)
 

@@ -42,9 +42,10 @@ from __future__ import annotations
 import dataclasses
 from heapq import heappush
 
+from repro.coherence.messages import TRANSIENT_REQUEST_MTYPES
 from repro.interconnect.link import Link
+from repro.interconnect.topology import Interconnect
 from repro.interconnect.torus import TorusInterconnect
-from repro.interconnect.tree import OrderedTreeInterconnect
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.rng import derive_rng
 from repro.system.grid import is_token_protocol
@@ -52,7 +53,7 @@ from repro.system.grid import is_token_protocol
 #: Transient performance-protocol requests: the only message types the
 #: drop/duplicate perturbations may touch (losing or repeating them is
 #: explicitly covered by the paper's reissue + persistent machinery).
-_TRANSIENT_MTYPES = ("GETS", "GETM")
+_TRANSIENT_MTYPES = TRANSIENT_REQUEST_MTYPES
 
 
 @dataclasses.dataclass
@@ -235,16 +236,9 @@ class JitteredTorus(TorusInterconnect):
 
 def iter_links(network):
     """Every directed link of a built interconnect."""
-    if isinstance(network, TorusInterconnect):
-        return list(network._links.values())
-    if isinstance(network, OrderedTreeInterconnect):
-        return [
-            *network._up,
-            *network._in_root,
-            *network._root_out,
-            *network._down,
-        ]
-    raise TypeError(f"unknown interconnect type {type(network).__name__}")
+    if not isinstance(network, Interconnect):
+        raise TypeError(f"unknown interconnect type {type(network).__name__}")
+    return network.all_links()
 
 
 class Perturber:

@@ -138,6 +138,74 @@ def test_resolve_jobs():
     assert resolve_jobs(None, 64) == min(os.cpu_count() or 1, 64)
 
 
+def _crash_once(params):
+    """Executor that hard-kills its worker the first time a marker file
+    is absent — the second attempt finds the marker and succeeds."""
+    import os
+    from pathlib import Path
+
+    marker = Path(params["marker"])
+    if not marker.exists():
+        marker.write_text("crashed once")
+        os._exit(1)  # bypass exception handling: the pool breaks
+    return {"ok": True, "survived": True}
+
+
+def _crash_always(params):
+    import os
+
+    os._exit(1)
+
+
+def test_broken_pool_respawns_and_finishes(tmp_path, monkeypatch):
+    """A worker dying mid-case (OOM kill analogue) breaks the whole
+    pool; the runner must reload the store, respawn, and finish the
+    genuinely unfinished cases — not surface a spurious failure."""
+    monkeypatch.setitem(executors.EXECUTORS, "crash-once", _crash_once)
+    cases = [
+        ScenarioCase(
+            "crash-once",
+            {"marker": str(tmp_path / f"marker-{i}"), "i": i},
+            fingerprint="fp",
+        )
+        for i in range(3)
+    ]
+    store = CampaignStore(tmp_path / "store")
+    report = run_campaign(cases, store, jobs=2)
+    assert report.ok, report.failures
+    assert report.executed == 3
+    for case in cases:
+        assert store.result_for(case) == {"ok": True, "survived": True}
+    # And the store is a full cache on rerun.
+    rerun = run_campaign(cases, CampaignStore(tmp_path / "store"), jobs=2)
+    assert (rerun.executed, rerun.cached) == (0, 3)
+
+
+def test_broken_pool_retries_are_bounded(tmp_path, monkeypatch):
+    """A worker that dies every time must not retry forever: after the
+    respawn budget the unfinished cases surface as ordinary failures."""
+    from repro.campaign import runner
+
+    monkeypatch.setitem(executors.EXECUTORS, "crash-always", _crash_always)
+    monkeypatch.setattr(runner, "_POOL_RETRIES", 1)
+    # Two cases: a single case would resolve to the in-process serial
+    # path, where os._exit would take the test process down with it.
+    cases = [
+        ScenarioCase("crash-always", {"i": i}, fingerprint="fp")
+        for i in range(2)
+    ]
+    store = CampaignStore(tmp_path)
+    report = run_campaign(cases, store, jobs=2)
+    assert not report.ok
+    assert len(report.failures) == 2
+    assert all(
+        "BrokenProcessPool" in failure["error"]
+        for failure in report.failures
+    )
+    for case in cases:
+        assert store.result_for(case) is None
+
+
 def test_explore_kind_records_violations_as_data(tmp_path):
     """Oracle violations are results, not failures — they cache too."""
     # The known-violating scenario from the explorer's own test suite.

@@ -57,6 +57,33 @@ def test_same_config_replays_identically():
     assert first.mean_miss_latency_ns == second.mean_miss_latency_ns
 
 
+def test_faults_layer_is_invisible_when_uninstalled():
+    """Importing (and arming elsewhere) the fault-injection package must
+    not move a single event in a fault-free run: the layer exists only
+    as a reserved slot plus an install-time ``__class__`` swap, so a
+    healthy system replays the goldens byte-identically."""
+    import repro.faults  # noqa: F401 — the import is the point
+
+    from repro.faults import FaultEvent, FaultInjector, FaultPlan
+    from repro.testing.explore import make_fault_scenario, run_scenario
+
+    # Exercise the installed path in this very process, so any leaked
+    # state (class-level, module-level) would get its chance to show.
+    outcome = run_scenario(
+        make_fault_scenario(0, "tokenb", "torus", "link_flap")
+    )
+    assert outcome.ok
+    label = "tokenb-torus"
+    case = GOLDEN[label]
+    observed = _observed(_run_case(case))
+    expected = {key: case[key] for key in observed}
+    assert observed == expected
+    # An injector whose plan is empty is also a no-op.
+    assert not FaultPlan().any_active()
+    assert FaultEvent("link_flap", 0.0, 1.0, target=0).end_ns == 1.0
+    assert FaultInjector(FaultPlan()).stats["flap_dropped"] == 0
+
+
 def test_unlimited_bandwidth_fast_path_matches_hop_by_hop():
     """The torus broadcast fast path (bandwidth=None posts every
     subtree delivery up front) must deliver exactly like progressive

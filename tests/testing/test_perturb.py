@@ -61,11 +61,17 @@ def test_spec_roundtrips_through_dict():
 
 
 @pytest.mark.parametrize("protocol", ["snooping", "directory", "hammer"])
-def test_token_only_perturbations_rejected_on_baselines(protocol):
-    """Baselines assume ordered lossless delivery; installing a
-    token-only perturbation on them must raise, not silently corrupt."""
+@pytest.mark.parametrize("field", [
+    "drop_request_prob", "dup_request_prob", "force_escalation_prob",
+    "kernel_jitter_ns", "reorder_jitter_ns",
+])
+def test_token_only_perturbations_rejected_on_baselines(protocol, field):
+    """Baselines assume ordered lossless delivery; installing any
+    token-only perturbation on them must raise, not silently corrupt —
+    each field individually, on each baseline.  (Only FIFO link jitter
+    is ordering-safe; see test_fifo_link_jitter_legal_on_baselines.)"""
     system = _build(protocol, "tree" if protocol == "snooping" else "torus")
-    perturber = Perturber(PerturbSpec(drop_request_prob=0.1))
+    perturber = Perturber(PerturbSpec(**{field: 0.1}))
     with pytest.raises(ValueError, match="only legal on token"):
         perturber.install(system)
 
