@@ -543,6 +543,48 @@ def faults_spec(
     )
 
 
+def lineage_spec(
+    seeds: int = 4, seed_base: int = 0, smoke: bool = False
+) -> CampaignSpec:
+    """The custody-audit campaign: token protocols, recorder armed.
+
+    Every scenario runs with the lineage recorder installed and the
+    token outcome contract as a standing oracle — half the grid under
+    the full adversarial perturbations, half under corruption-drop
+    fault windows (the fault class whose chains must terminate as
+    ``absorbed-by-reissue``).  ``repro.campaign report --spec lineage``
+    renders the custody summary (events, transfers, terminal outcomes,
+    absorbed reissues per protocol/topology).  ``smoke=True`` is the CI
+    slice: :data:`~repro.testing.explore.SMOKE_SEEDS` seeds with the
+    shared reduced-scale transform, run twice with ``--expect-cached``.
+    """
+    from repro.system.grid import ALL_PROTOCOLS, is_token_protocol
+    from repro.testing.explore import (
+        SMOKE_SEEDS,
+        fault_scenario_grid,
+        scenario_grid,
+        smoke_scenarios,
+    )
+
+    token_protocols = tuple(p for p in ALL_PROTOCOLS if is_token_protocol(p))
+    seed_range = range(
+        seed_base, seed_base + (min(seeds, SMOKE_SEEDS) if smoke else seeds)
+    )
+    scenarios = scenario_grid(seed_range, token_protocols) + (
+        fault_scenario_grid(
+            seed_range, token_protocols, fault_classes=("corrupt",)
+        )
+    )
+    if smoke:
+        scenarios = smoke_scenarios(scenarios)
+    return CampaignSpec(
+        name="lineage",
+        kind="explore",
+        grid=[scenario.to_dict() for scenario in scenarios],
+        default_store=_default_store("campaigns/lineage"),
+    )
+
+
 def differential_spec(seeds: int = 4, seed_base: int = 0, workloads=None) -> CampaignSpec:
     """Cross-protocol conformance: workloads × seeds (flat + phased)."""
     from repro.testing.explore import EXPLORER_WORKLOADS
@@ -598,6 +640,7 @@ SPEC_BUILDERS = {
     "predict": predict_spec,
     "explorer": explorer_spec,
     "faults": faults_spec,
+    "lineage": lineage_spec,
     "differential": differential_spec,
     "smoke": smoke_spec,
     "workloads": workloads_spec,

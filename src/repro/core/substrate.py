@@ -117,6 +117,23 @@ class TokenNodeBase(ProtocolNode):
         }
         self._dispatch_get = self._dispatch.get
 
+    def _rebind_dispatch(self) -> None:
+        """Re-resolve the dispatch table's bound methods.
+
+        The table is hoisted in ``__init__`` for speed, so a later
+        ``__class__`` swap (lineage recorder installation) does not
+        reroute the token/persistent entries through the new class on
+        its own.  Installers that swap after construction call this to
+        rebind them.  The GETS/GETM entry is left alone: when the
+        transient fast-path closure is in place the subclass did not
+        override ``_handle_transient``, and no installer does either.
+        """
+        self._dispatch["TOKEN_DATA"] = self._handle_tokens
+        self._dispatch["TOKEN_ONLY"] = self._handle_tokens
+        self._dispatch["PACT"] = self._handle_activation
+        self._dispatch["PDEACT"] = self._handle_deactivation
+        self._dispatch_get = self._dispatch.get
+
     # ------------------------------------------------------------------
     # Token ledger interface
     # ------------------------------------------------------------------

@@ -79,7 +79,13 @@ class TokenLedger:
             raise TokenInvariantError(
                 f"block {block:#x}: received more tokens than were in flight"
             )
-        self._in_flight_tokens[block] = remaining
+        # Drop zero entries instead of storing them: long runs touch
+        # many blocks whose traffic has long since landed, and keeping
+        # a 0 per block forever is an unbounded leak.
+        if remaining:
+            self._in_flight_tokens[block] = remaining
+        else:
+            self._in_flight_tokens.pop(block, None)
         if owner:
             owners = self._in_flight_owners.get(block, 0) - 1
             if owners < 0:
@@ -87,7 +93,10 @@ class TokenLedger:
                     f"block {block:#x}: received an owner token that was "
                     "never sent"
                 )
-            self._in_flight_owners[block] = owners
+            if owners:
+                self._in_flight_owners[block] = owners
+            else:
+                self._in_flight_owners.pop(block, None)
 
     def in_flight(self, block: int) -> tuple[int, int]:
         return (
@@ -113,8 +122,23 @@ class TokenLedger:
                 "expected exactly 1 (Invariant #1')"
             )
 
-    def audit_all_touched(self) -> int:
-        """Audit every block that ever moved; returns how many."""
+    def audit_all_touched(self, retire: bool = True) -> int:
+        """Audit every block that ever moved; returns how many.
+
+        With ``retire`` (the default), blocks that audit clean with no
+        tokens in flight are removed from ``touched_blocks`` — they are
+        quiesced, and nothing about a future movement depends on having
+        seen the past one (``message_sent`` re-adds a block the moment
+        traffic resumes).  Without retirement the set — and the cost of
+        the next audit — grows with every block ever touched, which is
+        a memory leak for long-lived systems that audit periodically.
+        """
+        audited = len(self.touched_blocks)
+        quiesced = []
         for block in self.touched_blocks:
             self.audit(block)
-        return len(self.touched_blocks)
+            if retire and block not in self._in_flight_tokens:
+                quiesced.append(block)
+        for block in quiesced:
+            self.touched_blocks.discard(block)
+        return audited

@@ -56,16 +56,18 @@ class LinkFaultState:
     ``degraded`` a sorted tuple of ``(start, end, factor)``;
     ``drop_mode`` is True on token protocols (flapped links lose
     droppable messages instead of queueing them); ``stats`` is the
-    injector's shared counter dict.
+    injector's shared counter dict; ``recorder`` the optional lineage
+    recorder that must learn about dropped request chains.
     """
 
-    __slots__ = ("down", "degraded", "drop_mode", "stats")
+    __slots__ = ("down", "degraded", "drop_mode", "stats", "recorder")
 
-    def __init__(self, down, degraded, drop_mode, stats) -> None:
+    def __init__(self, down, degraded, drop_mode, stats, recorder=None) -> None:
         self.down = tuple(down)
         self.degraded = tuple(degraded)
         self.drop_mode = drop_mode
         self.stats = stats
+        self.recorder = recorder
 
 
 class FaultyLink(Link):
@@ -132,6 +134,10 @@ class FaultyLink(Link):
         for begin, outage_end in state.down:
             if start < outage_end and end > begin:
                 state.stats["flap_dropped"] += 1
+                if state.recorder is not None:
+                    state.recorder.request_dropped(
+                        msg.block, msg.requester, -1, now
+                    )
                 return True
         return False
 
@@ -320,8 +326,12 @@ def _merge_windows(windows):
 class FaultInjector:
     """Installs a :class:`FaultPlan` onto a built (not yet run) system."""
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, recorder=None) -> None:
         self.plan = plan
+        #: Optional lineage recorder: fault-dropped transient requests
+        #: are reported into it so the token outcome contract can
+        #: demand an ``absorbed-by-reissue`` terminal for each chain.
+        self.recorder = recorder
         self.installed = False
         self.gates: list[PauseGate] = []
         #: Counters for what the faults actually did (for reports).
@@ -387,7 +397,9 @@ class FaultInjector:
                 for e in events
                 if e.kind == "link_degrade" and e.target == index
             )
-            link._fault = LinkFaultState(down, degraded, token, stats)
+            link._fault = LinkFaultState(
+                down, degraded, token, stats, self.recorder
+            )
             link.__class__ = FaultyLink
         if type(system.network) is TorusInterconnect:
             system.network.__class__ = FaultyTorus
@@ -446,6 +458,8 @@ class FaultInjector:
                 _windows=windows,
                 _sim=sim,
                 _stats=stats,
+                _recorder=self.recorder,
+                _node=node_id,
             ):
                 if msg.mtype in TRANSIENT_REQUEST_MTYPES:
                     now = _sim._now
@@ -453,6 +467,10 @@ class FaultInjector:
                         if begin <= now < end:
                             if _random() < prob:
                                 _stats["corrupt_dropped"] += 1
+                                if _recorder is not None:
+                                    _recorder.request_dropped(
+                                        msg.block, msg.requester, _node, now
+                                    )
                                 return
                             break
                 _orig(msg)

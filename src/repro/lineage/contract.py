@@ -1,0 +1,134 @@
+"""The token outcome contract.
+
+At quiescence, every custody chain must have reached **exactly one**
+terminal state:
+
+* tokens still held somewhere end in exactly one ``quiesce`` terminal
+  at their final holder — and the recorder's position model must agree
+  with the *actual* holder state (`tokens_held`), per block per node,
+  including where the owner token sits;
+* every fault-dropped transient request's chain ends in exactly one
+  ``absorbed-by-reissue`` terminal — the requester's transaction still
+  completed via surviving copies, a reissue, or the persistent path;
+  a dangling drop (no completion) or a doubly-absorbed drop both fail;
+* no transfer may dangle in flight (a send with no matching receive).
+
+This is strictly stronger than :meth:`TokenLedger.audit`, which only
+checks the system-wide *sum* per block.  A pair of compensating bugs —
+one node leaking a token while another conjures one — passes the
+ledger; the per-node custody comparison here catches it.
+"""
+
+from __future__ import annotations
+
+from .record import LineageRecorder
+
+
+class LineageContractError(AssertionError):
+    """A custody chain failed to reach exactly one terminal state."""
+
+
+def check_outcome_contract(recorder: LineageRecorder, nodes) -> None:
+    """Verify the token outcome contract; raise LineageContractError.
+
+    ``nodes`` is the system's node list (indexable by node id), used to
+    compare the recorder's position model against ground truth.
+    Callers run this after :meth:`LineageRecorder.finalize`.
+    """
+    if not recorder.finalized:
+        raise LineageContractError(
+            "lineage contract checked before finalize(): terminal events "
+            "have not been written"
+        )
+    if recorder.anomalies:
+        raise LineageContractError(
+            "custody chain anomalies recorded during the run: "
+            + "; ".join(recorder.anomalies[:5])
+            + (f" (+{len(recorder.anomalies) - 5} more)"
+               if len(recorder.anomalies) > 5 else "")
+        )
+
+    dangling = recorder.open_transfers()
+    if dangling:
+        xfer, block, src, dst, tokens, owner = dangling[0]
+        raise LineageContractError(
+            f"{len(dangling)} custody chain(s) dangle in flight at "
+            f"quiescence — e.g. transfer #{xfer} of {tokens} token(s)"
+            f"{' + owner' if owner else ''} for block {block:#x} sent "
+            f"{src}->{dst} was never received"
+        )
+
+    # Per-block, per-node: the position model vs the actual holders.
+    terminals: dict[tuple[int, int], int] = {}
+    for event in recorder.events:
+        if event[2] == "quiesce":
+            key = (event[3], event[4])
+            terminals[key] = terminals.get(key, 0) + 1
+
+    for block in recorder.blocks():
+        model = recorder.balances(block)
+        owner_at = recorder.owner_position(block)
+        for node_id, node in enumerate(nodes):
+            actual_tokens, owner_count = node.tokens_held(block)
+            actual_owner = owner_count > 0
+            model_tokens = model.get(node_id, 0)
+            if actual_tokens != model_tokens:
+                raise LineageContractError(
+                    f"block {block:#x}: node {node_id} holds "
+                    f"{actual_tokens} token(s) but the custody chain "
+                    f"places {model_tokens} there"
+                )
+            model_owner = owner_at == ("node", node_id)
+            if actual_owner != model_owner:
+                raise LineageContractError(
+                    f"block {block:#x}: owner token "
+                    f"{'held by' if actual_owner else 'absent from'} node "
+                    f"{node_id} but the custody chain places it at "
+                    f"{owner_at}"
+                )
+            n_term = terminals.get((block, node_id), 0)
+            want = 1 if actual_tokens > 0 else 0
+            if n_term != want:
+                state = (
+                    "no terminal state" if n_term < want
+                    else "two terminal states"
+                )
+                raise LineageContractError(
+                    f"block {block:#x}: custody chain at node {node_id} "
+                    f"({actual_tokens} token(s) held) reached {state} "
+                    f"({n_term} quiesce terminal(s), expected {want})"
+                )
+
+    # Fault-aware terminal discipline: every dropped request chain must
+    # be absorbed by a completed transaction — exactly once.
+    drops: dict[tuple[int, int], int] = {}
+    for key in recorder.dropped_requests():
+        drops[key] = drops.get(key, 0) + 1
+    absorbed: dict[tuple[int, int], int] = {}
+    for event in recorder.events:
+        if event[2] == "absorbed-by-reissue":
+            key = (event[3], event[4])
+            absorbed[key] = absorbed.get(key, 0) + 1
+    for (block, requester), n_dropped in drops.items():
+        n_absorbed = absorbed.get((block, requester), 0)
+        if n_absorbed < n_dropped:
+            raise LineageContractError(
+                f"block {block:#x}: corrupt-dropped request chain for "
+                f"requester {requester} never absorbed by a reissue "
+                f"({n_dropped} drop(s), {n_absorbed} absorbed) — the "
+                "chain dangles without a terminal state"
+            )
+        if n_absorbed > n_dropped:
+            raise LineageContractError(
+                f"block {block:#x}: dropped request chain for requester "
+                f"{requester} reached two terminal states "
+                f"({n_absorbed} absorbed-by-reissue for {n_dropped} "
+                "drop(s))"
+            )
+    for key, n_absorbed in absorbed.items():
+        if key not in drops:
+            block, requester = key
+            raise LineageContractError(
+                f"block {block:#x}: absorbed-by-reissue terminal for "
+                f"requester {requester} with no recorded drop"
+            )

@@ -1,0 +1,142 @@
+"""Custody-chain queries over a recorded store.
+
+The flagship question — ``"where was block 0x40's owner token at
+t=4200?"`` — is answered by scanning the block's (indexed,
+time-ordered) events for the last owner-flagged movement at or before
+the asked time:
+
+* owner minted at / received by a node → **held at that node** since;
+* owner sent and not yet received by ``t`` → **in flight** on that
+  transfer, source → destination;
+* no owner event yet → implicitly **at the home memory** (tokens are
+  lazily minted there; home is ``block % n_nodes``).
+
+:func:`parse_question` accepts loose natural phrasing: any hex or
+decimal block number (``block 0x40``, ``block 64``) and a time
+(``t=4200``, ``at 4200``, ``t=4.2us``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .record import EVENT_FIELDS
+
+_BLOCK_RE = re.compile(r"block\s+(0x[0-9a-fA-F]+|\d+)")
+_TIME_RE = re.compile(
+    r"(?:t\s*=\s*|at\s+t?\s*=?\s*)(\d+(?:\.\d+)?)\s*(us|ns)?", re.IGNORECASE
+)
+
+
+def parse_question(question: str) -> tuple[int, float]:
+    """Extract (block, time_ns) from a natural-language custody query."""
+    block_match = _BLOCK_RE.search(question)
+    if block_match is None:
+        raise ValueError(
+            f"no block number in {question!r} — say e.g. 'block 0x40'"
+        )
+    block = int(block_match.group(1), 0)
+    time_match = _TIME_RE.search(question)
+    if time_match is None:
+        raise ValueError(
+            f"no time in {question!r} — say e.g. 't=4200' (ns)"
+        )
+    t = float(time_match.group(1))
+    if (time_match.group(2) or "ns").lower() == "us":
+        t *= 1000.0
+    return block, t
+
+
+def owner_location(events, block: int, t: float, n_nodes: int) -> dict:
+    """Where the owner token for ``block`` was at time ``t``.
+
+    ``events`` is the block's time-ordered event list (e.g. from
+    :meth:`LineageStore.events_for`).  Returns a dict with ``state``
+    (``"home"`` | ``"node"`` | ``"flight"``), location fields, and the
+    anchoring event (if any).
+    """
+    last = None
+    for event in events:
+        _seq, e_t, kind, _blk, _node, _peer, _tok, owner, _xfer = event
+        if e_t > t:
+            break
+        if owner and kind in ("mint", "send", "recv", "quiesce"):
+            last = event
+    if last is None:
+        return {
+            "state": "home",
+            "node": block % n_nodes,
+            "since": 0.0,
+            "event": None,
+            "detail": "no owner movement recorded yet — implicitly at "
+                      "the home memory",
+        }
+    _seq, e_t, kind, _blk, node, peer, _tok, _owner, xfer = last
+    if kind == "send":
+        return {
+            "state": "flight",
+            "src": node,
+            "dst": peer,
+            "xfer": xfer,
+            "since": e_t,
+            "event": last,
+            "detail": f"in flight {node}->{peer} on transfer #{xfer}",
+        }
+    return {
+        "state": "node",
+        "node": node,
+        "since": e_t,
+        "event": last,
+        "detail": f"held at node {node}",
+    }
+
+
+def chain_slice(events, t: float, before: int = 3, after: int = 3) -> list:
+    """The custody-chain window around time ``t`` for one block."""
+    idx = 0
+    for idx, event in enumerate(events):
+        if event[1] > t:
+            break
+    else:
+        idx = len(events)
+    return list(events[max(0, idx - before): idx + after])
+
+
+def format_event(event) -> str:
+    seq, t, kind, block, node, peer, tokens, owner, xfer = event
+    parts = [f"t={t:<10.1f} #{seq:<6d} {kind:<20s} block {block:#x}"]
+    parts.append(f"node {node}")
+    if peer >= 0:
+        parts.append(f"peer {peer}")
+    if tokens:
+        parts.append(f"{tokens} token(s)")
+    if owner:
+        parts.append("+owner")
+    if xfer >= 0:
+        parts.append(f"xfer #{xfer}")
+    return "  ".join(parts)
+
+
+def answer(store, question: str) -> str:
+    """Answer a custody question against a :class:`LineageStore`."""
+    block, t = parse_question(question)
+    events = store.events_for(block)
+    n_nodes = store.meta["n_nodes"]
+    loc = owner_location(events, block, t, n_nodes)
+    lines = [
+        f"block {block:#x} owner token at t={t:g}: {loc['detail']} "
+        f"(since t={loc['since']:g})"
+    ]
+    window = chain_slice(events, t)
+    if window:
+        lines.append("custody chain around that time:")
+        lines.extend("  " + format_event(e) for e in window)
+    else:
+        lines.append("no recorded events for this block.")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "parse_question", "owner_location", "chain_slice", "format_event",
+    "answer", "EVENT_FIELDS",
+]

@@ -1,0 +1,103 @@
+"""Indexed, append-only on-disk custody store.
+
+Layout under one directory:
+
+* ``events.jsonl`` — one JSON array per line, fields in
+  :data:`~repro.lineage.record.EVENT_FIELDS` order, in emission
+  (simulation-time) order.  Append-only by construction: the recorder
+  never rewrites history, and neither does the store.
+* ``index.json`` — run metadata plus a per-block index of line numbers
+  into ``events.jsonl``, so a query for one block reads only that
+  block's lines instead of scanning the log.
+
+The key ``(block, owner-flag, time)`` of the issue lands as: the index
+keys by block; each event carries its owner flag and time; events for
+one block are already time-ordered, so a time-bounded owner query is a
+single indexed scan (:mod:`repro.lineage.query`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .record import EVENT_FIELDS, LineageRecorder
+
+EVENTS_FILE = "events.jsonl"
+INDEX_FILE = "index.json"
+
+
+class LineageStore:
+    """Read-side handle onto one written custody store."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        with open(os.path.join(root, INDEX_FILE), encoding="utf-8") as fh:
+            index = json.load(fh)
+        self.meta: dict = index["meta"]
+        self._block_lines: dict[int, list[int]] = {
+            int(block): lines for block, lines in index["blocks"].items()
+        }
+
+    # -- writing -------------------------------------------------------
+
+    @classmethod
+    def write(cls, recorder: LineageRecorder, root: str) -> "LineageStore":
+        """Persist a finalized recorder's log under ``root``."""
+        os.makedirs(root, exist_ok=True)
+        block_lines: dict[int, list[int]] = {}
+        with open(
+            os.path.join(root, EVENTS_FILE), "w", encoding="utf-8"
+        ) as fh:
+            for line_no, event in enumerate(recorder.events):
+                block_lines.setdefault(event[3], []).append(line_no)
+                fh.write(json.dumps(list(event), separators=(",", ":")))
+                fh.write("\n")
+        index = {
+            "meta": {
+                "fields": list(EVENT_FIELDS),
+                "total_tokens": recorder.total_tokens,
+                "n_nodes": recorder.n_nodes,
+                "events": len(recorder.events),
+                "blocks": len(block_lines),
+                "finalized": recorder.finalized,
+            },
+            "blocks": {
+                str(block): lines
+                for block, lines in sorted(block_lines.items())
+            },
+        }
+        with open(
+            os.path.join(root, INDEX_FILE), "w", encoding="utf-8"
+        ) as fh:
+            json.dump(index, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return cls(root)
+
+    # -- reading -------------------------------------------------------
+
+    def blocks(self) -> list[int]:
+        return sorted(self._block_lines)
+
+    def events_for(self, block: int) -> list[tuple]:
+        """All events for ``block``, time-ordered, via the line index."""
+        wanted = self._block_lines.get(block)
+        if not wanted:
+            return []
+        want = set(wanted)
+        events = []
+        with open(
+            os.path.join(self.root, EVENTS_FILE), encoding="utf-8"
+        ) as fh:
+            for line_no, line in enumerate(fh):
+                if line_no in want:
+                    events.append(tuple(json.loads(line)))
+                    if len(events) == len(want):
+                        break
+        return events
+
+    def all_events(self) -> list[tuple]:
+        with open(
+            os.path.join(self.root, EVENTS_FILE), encoding="utf-8"
+        ) as fh:
+            return [tuple(json.loads(line)) for line in fh]

@@ -386,7 +386,10 @@ def prediction_rates(counters: dict[str, int]) -> dict[str, float]:
     * ``coverage`` — fraction of actual responders the predicted sets
       contained;
     * ``overshoot`` — predicted-but-silent nodes per multicast (wasted
-      request bandwidth).
+      request bandwidth);
+    * ``table_evictions`` / ``table_drops`` — capacity-driven vs
+      invalidation-driven table turnover (drops were previously
+      uncounted, hiding protocol-requested churn).
     """
     multicasts = counters.get("predict_hit", 0) + counters.get("predict_miss", 0)
     return {
@@ -399,4 +402,6 @@ def prediction_rates(counters: dict[str, int]) -> dict[str, float]:
         "overshoot": ratio(
             counters.get("predict_overshoot_nodes", 0), multicasts
         ),
+        "table_evictions": float(counters.get("predict_table_eviction", 0)),
+        "table_drops": float(counters.get("predict_table_drop", 0)),
     }

@@ -27,8 +27,8 @@ from repro.sim.stats import Counter
 class PredictionTable:
     """Fixed-capacity, LRU-evicted map from macroblock index to entry."""
 
-    __slots__ = ("capacity", "_shift", "_entries", "evictions",
-                 "_counters", "_eviction_counter")
+    __slots__ = ("capacity", "_shift", "_entries", "evictions", "drops",
+                 "_counters", "_eviction_counter", "_drop_counter")
 
     def __init__(
         self,
@@ -36,6 +36,7 @@ class PredictionTable:
         macroblock_blocks: int = 1,
         counters: Counter | None = None,
         eviction_counter: str = "predict_table_eviction",
+        drop_counter: str = "predict_table_drop",
     ) -> None:
         if capacity < 1:
             raise ValueError("prediction table needs at least one entry")
@@ -45,8 +46,10 @@ class PredictionTable:
         self._shift = macroblock_blocks.bit_length() - 1
         self._entries: OrderedDict[int, object] = OrderedDict()
         self.evictions = 0
+        self.drops = 0
         self._counters = counters
         self._eviction_counter = eviction_counter
+        self._drop_counter = drop_counter
 
     def index_of(self, block: int) -> int:
         """The table index ``block`` maps to (its macroblock number)."""
@@ -80,8 +83,18 @@ class PredictionTable:
         return entry
 
     def drop(self, block: int) -> None:
-        """Forget the entry covering ``block`` (if any)."""
-        self._entries.pop(block >> self._shift, None)
+        """Forget the entry covering ``block`` (if any).
+
+        Distinct from capacity eviction: a drop is invalidation-driven
+        turnover requested by the protocol, not the LRU policy — and it
+        was previously invisible in the stats, which made tables look
+        healthier than they were.  Counted under ``predict_table_drop``
+        (only when an entry was actually removed).
+        """
+        if self._entries.pop(block >> self._shift, None) is not None:
+            self.drops += 1
+            if self._counters is not None:
+                self._counters.add(self._drop_counter)
 
     def __len__(self) -> int:
         return len(self._entries)

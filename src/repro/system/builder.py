@@ -92,6 +92,10 @@ class System:
         self.ledger: TokenLedger | None = None
         if is_token_protocol(config.protocol):
             self.ledger = TokenLedger(config.total_tokens)
+        #: Token-custody recorder, when installed (repro.lineage).
+        self.lineage = None
+        #: Blocks covered by the post-run conservation audit.
+        self.audited_blocks = 0
 
         factory = _node_factory(config.protocol)
         self.nodes: list[ProtocolNode] = []
@@ -148,7 +152,9 @@ class System:
                 f"{stuck} still incomplete (liveness violation)"
             )
         if audit_tokens and self.ledger is not None:
-            self.ledger.audit_all_touched()
+            # The audit retires quiesced blocks, so the count of blocks
+            # it covered lives here rather than in ledger state.
+            self.audited_blocks = self.ledger.audit_all_touched()
         return self._result()
 
     def _result(self) -> SimulationResult:

@@ -90,6 +90,9 @@ class Scenario:
     config_overrides: dict = dataclasses.field(default_factory=dict)
     mutant: str | None = None
     max_events: int = 20_000_000
+    #: Arm the token-custody recorder + outcome-contract oracle
+    #: (token protocols only — custody is a token-counting notion).
+    lineage: bool = False
 
     def label(self) -> str:
         parts = [
@@ -104,6 +107,8 @@ class Scenario:
         kinds = self.faults.kinds()
         if kinds:
             parts.append("faults[" + ",".join(kinds) + "]")
+        if self.lineage:
+            parts.append("+lineage")
         if self.mutant:
             parts.append(f"mutant={self.mutant}")
         return " ".join(parts)
@@ -144,6 +149,10 @@ class ScenarioOutcome:
     #: Traffic by category, for resilience cost accounting ({} on
     #: violation).
     traffic_bytes: dict = dataclasses.field(default_factory=dict)
+    #: Custody-recorder counters when the lineage oracle was armed
+    #: (``lineage_events``/``_transfers``/``_blocks``/``_terminals``/
+    #: ``_absorbed_reissues``); {} otherwise.
+    lineage_stats: dict = dataclasses.field(default_factory=dict)
 
 
 def _build_config(scenario: Scenario) -> SystemConfig:
@@ -236,24 +245,48 @@ def _recovery_oracles(system, injector: FaultInjector) -> None:
 
 def run_scenario(scenario: Scenario) -> ScenarioOutcome:
     """Execute one scenario with every oracle armed."""
+    outcome, _recorder = run_scenario_recorded(scenario)
+    return outcome
+
+
+def run_scenario_recorded(scenario: Scenario):
+    """Like :func:`run_scenario`, but also return the lineage recorder.
+
+    The recorder is ``None`` unless ``scenario.lineage`` is set.  Used
+    by the query CLI's ``record`` subcommand, which needs the custody
+    log itself (to write a :class:`~repro.lineage.LineageStore`), not
+    just the aggregated outcome.
+    """
     if scenario.workload not in EXPLORER_WORKLOADS:
         raise ValueError(f"unknown workload {scenario.workload!r}")
     config = _build_config(scenario)
     streams = _generate_streams(scenario, config)
     expected_ops = sum(len(ops) for ops in streams.values())
     system = build_system(config, streams, workload_name=scenario.workload)
+    recorder = None
+    if scenario.lineage:
+        # Install first: mutants may deliberately sabotage the recorder,
+        # and the fault injector reports request drops into it.
+        from repro.lineage import install_recorder
+
+        recorder = install_recorder(system)
     if scenario.mutant is not None:
         MUTANTS[scenario.mutant].install(system)
     perturber = Perturber(scenario.perturb)
     if scenario.perturb.any_active():
         perturber.install(system)
-    injector = FaultInjector(scenario.faults)
+    injector = FaultInjector(scenario.faults, recorder=recorder)
     if scenario.faults.any_active():
         injector.install(system)
     try:
         result = system.run(max_events=scenario.max_events)
         _post_run_oracles(system, result, expected_ops)
         _recovery_oracles(system, injector)
+        if recorder is not None:
+            from repro.lineage import check_outcome_contract
+
+            recorder.finalize(now=system.sim.now)
+            check_outcome_contract(recorder, system.nodes)
     except (AssertionError, RuntimeError) as exc:
         return ScenarioOutcome(
             ok=False,
@@ -264,7 +297,8 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
             reissued_requests=system.counters.get("reissued_request"),
             perturb_stats=dict(perturber.stats),
             fault_stats=dict(injector.stats),
-        )
+            lineage_stats=recorder.stats() if recorder is not None else {},
+        ), recorder
     return ScenarioOutcome(
         ok=True,
         total_ops=result.total_ops,
@@ -278,7 +312,8 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
             0.0, result.runtime_ns - scenario.faults.last_end_ns()
         ) if scenario.faults.any_active() else 0.0,
         traffic_bytes=dict(result.traffic_bytes),
-    )
+        lineage_stats=recorder.stats() if recorder is not None else {},
+    ), recorder
 
 
 # ----------------------------------------------------------------------
@@ -356,6 +391,10 @@ def make_scenario(
         ops_per_proc=ops,
         perturb=PerturbSpec(seed=seed, **perturb_fields),
         config_overrides=overrides,
+        # Custody chains only exist for token protocols; arming the
+        # recorder everywhere it is meaningful makes the outcome
+        # contract a standing oracle of every sweep.
+        lineage=token,
     )
 
 
@@ -448,6 +487,9 @@ def make_fault_scenario(
         ops_per_proc=ops,
         faults=plan,
         config_overrides=overrides,
+        # Fault-aware custody: corruption-dropped request chains must
+        # terminate as absorbed-by-reissue, never dangle.
+        lineage=is_token_protocol(protocol),
     )
 
 
@@ -497,7 +539,10 @@ def summarize(scenarios, outcomes) -> dict:
               "forced_escalations": 0, "events_fired": 0,
               "flap_dropped": 0, "flap_queued": 0,
               "degraded_crossings": 0, "corrupt_dropped": 0,
-              "paused_deliveries": 0}
+              "paused_deliveries": 0,
+              "lineage_events": 0, "lineage_transfers": 0,
+              "lineage_blocks": 0, "lineage_terminals": 0,
+              "lineage_absorbed_reissues": 0}
     for scenario, outcome in zip(scenarios, outcomes):
         key = f"{scenario.protocol}/{scenario.interconnect}"
         by_protocol[key] = by_protocol.get(key, 0) + 1
@@ -507,6 +552,8 @@ def summarize(scenarios, outcomes) -> dict:
         for stat, value in outcome.perturb_stats.items():
             totals[stat] += value
         for stat, value in outcome.fault_stats.items():
+            totals[stat] += value
+        for stat, value in outcome.lineage_stats.items():
             totals[stat] += value
         if not outcome.ok:
             violations.append(

@@ -21,6 +21,15 @@ no-escalation           Liveness: misses neither issue transient
                         drains with operations outstanding.
 writeback-leak          Writeback drainage: PUT_ACKs are ignored, so
                         the eviction window never closes.
+lineage-leak            Token outcome contract: one custody chain's
+                        quiesce terminal leaks, so the chain ends with
+                        no terminal state at all.
+lineage-double-terminal Token outcome contract: quiescence terminals
+                        are written twice, so chains reach two
+                        terminal states instead of exactly one.
+lineage-dropped-dangle  Token outcome contract (fault-aware): a
+                        corrupt-dropped request chain never receives
+                        its absorbed-by-reissue terminal.
 ==========================================================================
 
 Mutants are installed by patching *instance* methods on a built system
@@ -51,6 +60,9 @@ class Mutant:
     #: for ``writeback-leak`` to accumulate).
     workload: str = "false_sharing"
     description: str = ""
+    #: The self-test must arm the lineage recorder (the mutant attacks
+    #: the custody chain, and only the outcome contract can see it).
+    lineage: bool = False
 
 
 def _install_skip_token_collection(system) -> None:
@@ -105,6 +117,86 @@ def _install_writeback_leak(system) -> None:
         node._handle_put_ack = lambda msg: None
 
 
+def _recorder_subclass(recorder, **overrides):
+    """Swap a slotted recorder onto a single-base subclass with
+    ``overrides`` as methods (instance attributes cannot shadow methods
+    on a ``__slots__`` class)."""
+    cls = type(recorder)
+    recorder.__class__ = type(
+        f"Mutant{cls.__name__}", (cls,), {"__slots__": (), **overrides}
+    )
+    return recorder
+
+
+def _install_lineage_leak(system) -> None:
+    """One custody chain's terminal quiesce event leaks.
+
+    The chain's movements are all recorded faithfully — balances match,
+    the ledger's count-based audit stays clean — but its quiesce
+    terminal never lands, so the chain simply *stops* without reaching a
+    terminal state.  Only the outcome contract's exactly-one-terminal
+    discipline can see that.
+    """
+    fired = {"done": False}
+
+    def _emit(
+        self, t, kind, block, node, peer=-1, tokens=0, owner=False,
+        xfer=-1, _orig=type(system.lineage)._emit,
+    ):
+        if kind == "quiesce" and not fired["done"]:
+            fired["done"] = True
+            return -1
+        return _orig(self, t, kind, block, node, peer, tokens, owner, xfer)
+
+    _recorder_subclass(system.lineage, _emit=_emit)
+
+
+def _install_lineage_double_terminal(system) -> None:
+    """Quiescence runs twice: every chain gets two terminal states."""
+
+    def finalize(self, now=None, _orig=type(system.lineage).finalize):
+        _orig(self, now)
+        _orig(self, now)
+
+    _recorder_subclass(system.lineage, finalize=finalize)
+
+
+def _install_lineage_dropped_dangle(system) -> None:
+    """A corrupt-style drop whose chain is never absorbed.
+
+    Node 1 discards the first foreign transient request it is delivered
+    (recording the drop, exactly as the fault injector's corruption
+    wrapper does) while the recorder stops registering transaction
+    completions — so even though the requester recovers via the reissue
+    path, the dropped chain never receives its ``absorbed-by-reissue``
+    terminal and the fault-aware contract must flag the dangle.
+    """
+    recorder = system.lineage
+    _recorder_subclass(
+        system.lineage,
+        transaction_complete=lambda self, block, node, t: None,
+    )
+    node_id = 1
+    handlers = system.network._handlers
+    sim = system.sim
+    fired = {"done": False}
+
+    def wrapped(msg, _orig=handlers[node_id]):
+        if (
+            not fired["done"]
+            and msg.mtype in ("GETS", "GETM")
+            and msg.requester != node_id
+        ):
+            fired["done"] = True
+            recorder.request_dropped(
+                msg.block, msg.requester, node_id, sim.now
+            )
+            return
+        _orig(msg)
+
+    handlers[node_id] = wrapped
+
+
 MUTANTS: dict[str, Mutant] = {
     mutant.name: mutant
     for mutant in (
@@ -144,6 +236,30 @@ MUTANTS: dict[str, Mutant] = {
             install=_install_writeback_leak,
             workload="writeback_churn",
             description="PUT_ACKs ignored; writeback buffer leaks",
+        ),
+        Mutant(
+            name="lineage-leak",
+            protocol="tokenb",
+            expected=("LineageContractError",),
+            install=_install_lineage_leak,
+            description="one chain's quiesce terminal leaks (no terminal)",
+            lineage=True,
+        ),
+        Mutant(
+            name="lineage-double-terminal",
+            protocol="tokenb",
+            expected=("LineageContractError",),
+            install=_install_lineage_double_terminal,
+            description="quiescence recorded twice per custody chain",
+            lineage=True,
+        ),
+        Mutant(
+            name="lineage-dropped-dangle",
+            protocol="tokenb",
+            expected=("LineageContractError",),
+            install=_install_lineage_dropped_dangle,
+            description="corrupt-dropped request chain never absorbed",
+            lineage=True,
         ),
     )
 }

@@ -130,6 +130,87 @@ def test_explore_spec_violations_exit_nonzero(tmp_path, capsys):
                  "--jobs", "1", "-q", "--expect-cached"]) == 1
 
 
+def _fault_case(seed, fired, recovery, protocol="tokenb"):
+    """One synthetic explore record with a scheduled corrupt window."""
+    from repro.campaign.spec import ScenarioCase
+
+    params = {
+        "protocol": protocol, "interconnect": "torus",
+        "workload": "false_sharing", "seed": seed,
+        "faults": {"events": [{"kind": "corrupt", "at": 0.0,
+                               "duration": 100.0}]},
+    }
+    result = {
+        "ok": True,
+        "fault_stats": {"corrupt_dropped": 3 if fired else 0},
+        "recovery_ns": recovery,
+        "persistent_requests": 1,
+        "reissued_requests": 2,
+    }
+    return ScenarioCase("explore", params), result
+
+
+def test_resilience_ttr_aggregates_only_fired_faults(tmp_path):
+    """Regression: a scheduled fault window the traffic never crossed
+    recovers from nothing, but its default recovery_ns=0.0 used to fold
+    into the TTR mean and skew every group low."""
+    from repro.campaign.cli import _resilience_report
+    from repro.campaign.store import CampaignStore, make_record
+
+    store = CampaignStore(tmp_path / "store")
+    cases = []
+    # Two fired scenarios (TTR 100 and 300) and two unfired: the honest
+    # mean is 200.0; folding the unfired zeros in gave 100.0.
+    for seed, (fired, recovery) in enumerate(
+        [(True, 100.0), (True, 300.0), (False, 0.0), (False, 0.0)]
+    ):
+        case, result = _fault_case(seed, fired, recovery)
+        cases.append(case)
+        store.append(make_record(case, result))
+    # A group where the window never fired at all reports no mean.
+    quiet, quiet_result = _fault_case(0, False, 0.0, protocol="tokenm")
+    cases.append(quiet)
+    store.append(make_record(quiet, quiet_result))
+    store.close()
+
+    text = _resilience_report(cases, CampaignStore(tmp_path / "store"))
+    [row] = [line for line in text.splitlines() if "tokenb" in line]
+    fields = row.split()
+    assert fields[:5] == ["corrupt", "tokenb/torus", "4", "0", "2"]
+    assert fields[5] == "200.0" and fields[6] == "300.0"
+    [quiet_row] = [line for line in text.splitlines() if "tokenm" in line]
+    quiet_fields = quiet_row.split()
+    assert quiet_fields[4] == "0"
+    assert quiet_fields[5] == "-" and quiet_fields[6] == "-"
+    assert "'fired' scenarios only" in text
+
+
+def test_explore_csv_blanks_recovery_for_unfired_faults(tmp_path):
+    """The CSV mirrors the fix: recovery_ns is a measurement only on
+    rows where a fault actually fired; unfired rows export blank."""
+    from repro.campaign.cli import _report_table
+    from repro.campaign.store import CampaignStore, make_record
+
+    store = CampaignStore(tmp_path / "store")
+    cases = []
+    for seed, (fired, recovery) in enumerate([(True, 150.0), (False, 0.0)]):
+        case, result = _fault_case(seed, fired, recovery)
+        cases.append(case)
+        store.append(make_record(case, result))
+    store.close()
+
+    headers, rows = _report_table(
+        "explore", cases, CampaignStore(tmp_path / "store")
+    )
+    fired_col = headers.index("fault_fired")
+    recovery_col = headers.index("recovery_ns")
+    by_seed = {row[headers.index("seed")]: row for row in rows}
+    assert by_seed[0][fired_col] is True
+    assert by_seed[0][recovery_col] == 150.0
+    assert by_seed[1][fired_col] is False
+    assert by_seed[1][recovery_col] == ""
+
+
 def test_differential_report_renders_agreement(tmp_path, capsys):
     grid = [{"workload": "false_sharing", "seed": 0,
              "n_procs": 2, "ops_per_proc": 8}]

@@ -113,7 +113,11 @@ def test_token_conservation_audited_after_run(small_config):
         for proc in range(4)
     }
     system, _ = run_ops(small_config, streams)
-    assert system.ledger.audit_all_touched() > 0
+    # The run's own audit covered the touched blocks, then retired them
+    # (quiesced blocks drop out of the set so long-lived systems don't
+    # rescan all of history on every periodic audit).
+    assert system.audited_blocks > 0
+    assert system.ledger.touched_blocks == set()
 
 
 def test_eviction_returns_tokens_to_memory(small_config):

@@ -82,3 +82,57 @@ def test_audit_all_touched_covers_sent_blocks():
 def test_total_tokens_must_be_positive():
     with pytest.raises(ValueError):
         TokenLedger(0)
+
+
+def test_drained_in_flight_entries_are_deleted():
+    """A fully received transfer leaves no zero-count residue behind —
+    the in-flight maps grew one permanent entry per block ever moved."""
+    ledger = TokenLedger(8)
+    ledger.register_holder(FakeHolder({3: (8, 1)}))
+    ledger.message_sent(3, 4, owner=True)
+    ledger.message_received(3, 4, owner=True)
+    assert 3 not in ledger._in_flight_tokens
+    assert 3 not in ledger._in_flight_owners
+
+
+def test_audit_retires_quiesced_blocks():
+    """Clean blocks with nothing in flight drop out of touched_blocks;
+    new traffic on the same block re-enrolls it."""
+    ledger = TokenLedger(4)
+    ledger.register_holder(FakeHolder({1: (4, 1)}))
+    ledger.message_sent(1, 2, owner=False)
+    ledger.message_received(1, 2, owner=False)
+    assert ledger.audit_all_touched() == 1
+    assert ledger.touched_blocks == set()
+    ledger.message_sent(1, 1, owner=False)
+    assert ledger.touched_blocks == {1}
+
+
+def test_audit_keeps_blocks_with_tokens_still_in_flight():
+    ledger = TokenLedger(4)
+    ledger.register_holder(FakeHolder({7: (2, 1)}))
+    ledger.message_sent(7, 2, owner=False)
+    assert ledger.audit_all_touched() == 1
+    assert ledger.touched_blocks == {7}
+
+
+def test_ledger_memory_is_stable_over_a_long_run():
+    """Long-run leak regression: cycling traffic over an ever-fresh
+    block set with periodic audits must not accumulate state — before
+    the fix, both touched_blocks and the in-flight maps grew one entry
+    per block forever, and every audit rescanned all of history."""
+    total = 4
+    holder = FakeHolder({})
+    ledger = TokenLedger(total)
+    ledger.register_holder(holder)
+    blocks_per_epoch = 50
+    for epoch in range(40):
+        for offset in range(blocks_per_epoch):
+            block = epoch * blocks_per_epoch + offset
+            holder.holdings[block] = (total, 1)
+            ledger.message_sent(block, total, owner=True)
+            ledger.message_received(block, total, owner=True)
+        assert ledger.audit_all_touched() == blocks_per_epoch
+        assert len(ledger.touched_blocks) == 0
+        assert len(ledger._in_flight_tokens) == 0
+        assert len(ledger._in_flight_owners) == 0

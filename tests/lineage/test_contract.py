@@ -1,0 +1,146 @@
+"""Token outcome contract: every failure branch, driven by hand.
+
+Each test constructs a small custody chain plus matching (or
+deliberately mismatched) fake holders and asserts the contract's
+exactly-one-terminal discipline fires with the right message.
+"""
+
+import pytest
+
+from repro.lineage import (
+    LineageContractError,
+    LineageRecorder,
+    check_outcome_contract,
+)
+
+
+class FakeNode:
+    def __init__(self, holdings):
+        self.holdings = holdings  # block -> (tokens, owner_count)
+
+    def tokens_held(self, block):
+        return self.holdings.get(block, (0, 0))
+
+
+def _clean_run(total=4):
+    """Mint at node 0, move everything to node 1, finalize."""
+    rec = LineageRecorder(total, 2)
+    rec.mint(0x40, 0, t=0.0)
+    rec.sent(0x40, 0, 1, tokens=total, owner=True, msg_id=1, t=1.0)
+    rec.received(0x40, 1, tokens=total, owner=True, msg_id=1, t=2.0)
+    nodes = [FakeNode({}), FakeNode({0x40: (total, 1)})]
+    return rec, nodes
+
+
+def test_clean_chain_passes():
+    rec, nodes = _clean_run()
+    rec.finalize(now=5.0)
+    check_outcome_contract(rec, nodes)
+
+
+def test_unfinalized_recorder_is_rejected():
+    rec, nodes = _clean_run()
+    with pytest.raises(LineageContractError, match="before finalize"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_anomalies_fail_the_contract():
+    rec, nodes = _clean_run()
+    rec.received(0x40, 0, tokens=1, owner=False, msg_id=99, t=3.0)
+    rec.finalize(now=5.0)
+    with pytest.raises(LineageContractError, match="anomalies"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_dangling_transfer_fails_the_contract():
+    rec, nodes = _clean_run()
+    rec.sent(0x40, 1, 0, tokens=1, owner=False, msg_id=2, t=3.0)
+    nodes[1].holdings[0x40] = (3, 1)
+    nodes[0].holdings[0x40] = (1, 0)
+    rec.finalize(now=5.0)
+    with pytest.raises(LineageContractError, match="dangle in flight"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_balance_mismatch_fails_the_contract():
+    rec, nodes = _clean_run()
+    # Ground truth disagrees: node 1 actually leaked a token.
+    nodes[1].holdings[0x40] = (3, 1)
+    rec.finalize(now=5.0)
+    with pytest.raises(LineageContractError, match="holds 3 token"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_compensating_leak_invisible_to_sum_is_caught():
+    """The strictly-stronger claim: node 1 leaks a token while node 0
+    conjures one, so the system-wide sum stays T (the ledger audit
+    passes) — but the per-node custody comparison fails."""
+    rec, nodes = _clean_run(total=4)
+    nodes[1].holdings[0x40] = (3, 1)
+    nodes[0].holdings[0x40] = (1, 0)
+    assert sum(n.tokens_held(0x40)[0] for n in nodes) == 4
+    rec.finalize(now=5.0)
+    with pytest.raises(LineageContractError):
+        check_outcome_contract(rec, nodes)
+
+
+def test_owner_position_mismatch_fails_the_contract():
+    rec, nodes = _clean_run()
+    nodes[1].holdings[0x40] = (4, 0)
+    nodes[0].holdings[0x40] = (0, 1)  # owner flag migrated without data
+    rec.finalize(now=5.0)
+    with pytest.raises(LineageContractError, match="owner token"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_missing_terminal_fails_the_contract():
+    rec, nodes = _clean_run()
+    rec.finalize(now=5.0)
+    rec.events = [e for e in rec.events if e[2] != "quiesce"]
+    with pytest.raises(LineageContractError, match="no terminal state"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_double_terminal_fails_the_contract():
+    rec, nodes = _clean_run()
+    rec.finalize(now=5.0)
+    rec.events = rec.events + [e for e in rec.events if e[2] == "quiesce"]
+    with pytest.raises(LineageContractError, match="two terminal states"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_unabsorbed_dropped_request_fails_the_contract():
+    rec, nodes = _clean_run()
+    rec.request_dropped(0x40, requester=0, at=1, t=3.0)
+    rec.finalize(now=5.0)  # no transaction_complete: nothing absorbs it
+    with pytest.raises(LineageContractError, match="never absorbed"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_absorbed_dropped_request_passes():
+    rec, nodes = _clean_run()
+    rec.request_dropped(0x40, requester=0, at=1, t=3.0)
+    rec.transaction_complete(0x40, node=0, t=4.0)
+    rec.finalize(now=5.0)
+    check_outcome_contract(rec, nodes)
+
+
+def test_doubly_absorbed_drop_fails_the_contract():
+    rec, nodes = _clean_run()
+    rec.request_dropped(0x40, requester=0, at=1, t=3.0)
+    rec.transaction_complete(0x40, node=0, t=4.0)
+    rec.finalize(now=5.0)
+    absorbed = [e for e in rec.events if e[2] == "absorbed-by-reissue"]
+    rec.events = rec.events + absorbed
+    with pytest.raises(LineageContractError, match="two terminal states"):
+        check_outcome_contract(rec, nodes)
+
+
+def test_absorption_without_drop_fails_the_contract():
+    rec, nodes = _clean_run()
+    rec.finalize(now=5.0)
+    rec.events = rec.events + [
+        (len(rec.events), 5.0, "absorbed-by-reissue", 0x40, 0, -1, 0, 0, -1)
+    ]
+    with pytest.raises(LineageContractError, match="no recorded drop"):
+        check_outcome_contract(rec, nodes)

@@ -1,0 +1,184 @@
+"""Recorder installation hooks and the custody query CLI.
+
+The hooks must be pay-for-use: an un-armed run executes the exact same
+node classes as before the lineage subsystem existed, and an armed run
+observes without perturbing the simulation.
+"""
+
+import pytest
+
+from repro.lineage import install_recorder, is_installed, lineage_class
+from repro.lineage.hooks import _make_hook_namespace
+from repro.system.builder import build_system
+from repro.testing.explore import (
+    Scenario,
+    _build_config,
+    _generate_streams,
+    run_scenario,
+    run_scenario_recorded,
+)
+
+
+def _token_system(protocol="tokenb", seed=0):
+    scenario = Scenario(
+        protocol=protocol, interconnect="torus",
+        workload="false_sharing", seed=seed,
+    )
+    config = _build_config(scenario)
+    streams = _generate_streams(scenario, config)
+    return build_system(config, streams, workload_name=scenario.workload)
+
+
+def test_install_swaps_classes_and_sets_recorder():
+    system = _token_system()
+    assert not is_installed(system)
+    recorder = install_recorder(system)
+    assert is_installed(system)
+    assert system.lineage is recorder
+    for node in system.nodes:
+        assert type(node).__name__.startswith("Lineage")
+        assert node._lineage is recorder
+
+
+def test_lineage_class_is_cached_single_base():
+    system = _token_system()
+    cls = type(system.nodes[0])
+    generated = lineage_class(cls)
+    assert lineage_class(cls) is generated
+    assert generated.__bases__ == (cls,)
+
+
+def test_uninstalled_run_uses_pristine_classes():
+    """Zero-cost claim: with the recorder off, the node classes are the
+    shipped ones — no wrapper, no subclass, no per-message overhead."""
+    system = _token_system()
+    for node in system.nodes:
+        assert "Lineage" not in type(node).__name__
+        assert not hasattr(type(node), "_lineage_hooked")
+
+
+def test_install_rejects_ledgerless_protocols():
+    system = _token_system(protocol="directory")
+    with pytest.raises(ValueError, match="token"):
+        install_recorder(system)
+
+
+def test_dispatch_rebinds_to_hooked_methods():
+    """TokenNodeBase hoists bound handlers into _dispatch at __init__;
+    the post-install rebind must re-point them at the hooked class."""
+    system = _token_system()
+    install_recorder(system)
+    for node in system.nodes:
+        handler = node._dispatch["TOKEN_DATA"]
+        assert handler.__func__ is type(node)._handle_tokens
+        assert handler.__self__ is node
+
+
+def test_hook_namespace_covers_custody_surface():
+    system = _token_system()
+    namespace = _make_hook_namespace(type(system.nodes[0]))
+    for name in ("send_msg", "_handle_tokens", "_memory_state",
+                 "_complete_token_transaction"):
+        assert name in namespace
+
+
+def test_armed_run_is_observationally_equivalent():
+    """The recorder watches; it must not steer.  Same scenario with and
+    without lineage produces the identical simulation."""
+    base = Scenario(protocol="tokenb", interconnect="torus",
+                    workload="false_sharing", seed=3)
+    armed = Scenario(protocol="tokenb", interconnect="torus",
+                     workload="false_sharing", seed=3, lineage=True)
+    plain = run_scenario(base)
+    recorded = run_scenario(armed)
+    assert plain.ok and recorded.ok
+    assert plain.runtime_ns == recorded.runtime_ns
+    assert plain.total_ops == recorded.total_ops
+    assert plain.events_fired == recorded.events_fired
+    assert recorded.lineage_stats["lineage_events"] > 0
+    assert plain.lineage_stats == {}
+
+
+def test_recorded_run_returns_finalized_recorder():
+    scenario = Scenario(protocol="tokenb", interconnect="torus",
+                        workload="false_sharing", seed=0, lineage=True)
+    outcome, recorder = run_scenario_recorded(scenario)
+    assert outcome.ok
+    assert recorder is not None and recorder.finalized
+    assert recorder.stats() == outcome.lineage_stats
+
+
+def test_fault_scenario_chains_absorb_dropped_requests():
+    """Corruption-dropped requests must terminate as absorbed-by-reissue
+    when the recorder is armed under the fault injector."""
+    from repro.testing.explore import make_fault_scenario
+
+    found = False
+    for seed in range(6):
+        scenario = make_fault_scenario(seed, "tokenb", "torus", "corrupt")
+        assert scenario.lineage
+        outcome, recorder = run_scenario_recorded(scenario)
+        assert outcome.ok, outcome.violation_message
+        if recorder.dropped_requests():
+            found = True
+            assert recorder.stats()["lineage_absorbed_reissues"] == len(
+                recorder.dropped_requests()
+            )
+    assert found, "no seed produced a corruption drop; weaken oracle test"
+
+
+# ----------------------------------------------------------------------
+# The query CLI (python -m repro.lineage)
+# ----------------------------------------------------------------------
+
+
+def test_cli_record_then_query_round_trip(tmp_path, capsys):
+    from repro.lineage.__main__ import main
+
+    store = str(tmp_path / "store")
+    assert main(["record", "--protocol", "tokenb", "--seed", "1",
+                 "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out and "terminal outcomes" in out
+
+    assert main(["query", "where was block 0x200's owner token at t=4200?",
+                 "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "block 0x200 owner token at t=4200" in out
+
+
+def test_cli_bare_question_is_a_query(tmp_path, capsys):
+    from repro.lineage.__main__ import main
+
+    store = str(tmp_path / "store")
+    assert main(["record", "--seed", "0", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["where was block 0x200's owner token at t=100?",
+                 "--store", store]) == 0
+    assert "owner token" in capsys.readouterr().out
+
+
+def test_cli_rejects_non_token_protocols(tmp_path, capsys):
+    from repro.lineage.__main__ import main
+
+    assert main(["record", "--protocol", "directory",
+                 "--store", str(tmp_path / "s")]) == 2
+    assert "not a token protocol" in capsys.readouterr().err
+
+
+def test_cli_query_missing_store_errors(tmp_path, capsys):
+    from repro.lineage.__main__ import main
+
+    assert main(["query", "block 0x40 at t=1",
+                 "--store", str(tmp_path / "nowhere")]) == 2
+    assert "no custody store" in capsys.readouterr().err
+
+
+def test_cli_query_unparseable_question_errors(tmp_path, capsys):
+    from repro.lineage.__main__ import main
+
+    store = str(tmp_path / "store")
+    assert main(["record", "--seed", "0", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["query", "what even is custody?", "--store", store]) == 2
+    assert "error" in capsys.readouterr().err

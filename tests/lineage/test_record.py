@@ -1,0 +1,119 @@
+"""LineageRecorder unit tests: the custody model driven directly.
+
+The recorder is simulator-free by design, so these tests narrate small
+custody chains by hand and check the position model, the event log, and
+the anomaly collection against them.
+"""
+
+from repro.lineage import EVENT_FIELDS, LineageRecorder, TERMINAL_KINDS
+
+
+def _recorder(total_tokens=4, n_nodes=4):
+    return LineageRecorder(total_tokens, n_nodes)
+
+
+def test_mint_places_all_tokens_and_owner_at_home():
+    rec = _recorder()
+    rec.mint(0x40, 2, t=10.0)
+    assert rec.balances(0x40) == {2: 4}
+    assert rec.owner_position(0x40) == ("node", 2)
+    assert rec.events[0][2] == "mint"
+    assert len(rec.events[0]) == len(EVENT_FIELDS)
+
+
+def test_send_receive_moves_balance_and_owner():
+    rec = _recorder()
+    rec.mint(0x40, 2, t=0.0)
+    rec.sent(0x40, 2, 0, tokens=4, owner=True, msg_id=7, t=5.0)
+    assert rec.balances(0x40) == {2: 0}
+    assert rec.owner_position(0x40) == ("flight", 0)
+    assert rec.open_transfers() == [(0, 0x40, 2, 0, 4, True)]
+    rec.received(0x40, 0, tokens=4, owner=True, msg_id=7, t=9.0)
+    assert rec.balances(0x40) == {2: 0, 0: 4}
+    assert rec.owner_position(0x40) == ("node", 0)
+    assert rec.open_transfers() == []
+    assert rec.anomalies == []
+
+
+def test_partial_token_split_keeps_owner_put():
+    rec = _recorder()
+    rec.mint(0x40, 1, t=0.0)
+    rec.sent(0x40, 1, 3, tokens=1, owner=False, msg_id=9, t=2.0)
+    rec.received(0x40, 3, tokens=1, owner=False, msg_id=9, t=4.0)
+    assert rec.balances(0x40) == {1: 3, 3: 1}
+    assert rec.owner_position(0x40) == ("node", 1)
+
+
+def test_overdrawn_send_is_an_anomaly():
+    rec = _recorder()
+    rec.mint(0x40, 0, t=0.0)
+    rec.sent(0x40, 1, 2, tokens=1, owner=False, msg_id=1, t=1.0)
+    assert any("places only 0" in a for a in rec.anomalies)
+
+
+def test_receive_without_send_is_an_anomaly():
+    rec = _recorder()
+    rec.received(0x40, 1, tokens=1, owner=False, msg_id=99, t=1.0)
+    assert any("no recorded send" in a for a in rec.anomalies)
+
+
+def test_owner_send_from_wrong_node_is_an_anomaly():
+    rec = _recorder()
+    rec.mint(0x40, 0, t=0.0)
+    rec.sent(0x40, 0, 1, tokens=4, owner=True, msg_id=1, t=1.0)
+    rec.received(0x40, 1, tokens=4, owner=True, msg_id=1, t=2.0)
+    # Owner is at node 1 now; a claimed owner send from node 3 lies.
+    rec.sent(0x40, 3, 0, tokens=1, owner=True, msg_id=2, t=3.0)
+    assert any("owner token sent from node 3" in a for a in rec.anomalies)
+
+
+def test_double_mint_is_an_anomaly():
+    rec = _recorder()
+    rec.mint(0x40, 0, t=0.0)
+    rec.mint(0x40, 0, t=1.0)
+    assert any("minted twice" in a for a in rec.anomalies)
+
+
+def test_finalize_emits_one_quiesce_per_holding_node():
+    rec = _recorder()
+    rec.mint(0x40, 0, t=0.0)
+    rec.sent(0x40, 0, 1, tokens=1, owner=False, msg_id=1, t=1.0)
+    rec.received(0x40, 1, tokens=1, owner=False, msg_id=1, t=2.0)
+    rec.finalize(now=10.0)
+    assert rec.finalized
+    quiesces = [e for e in rec.events if e[2] == "quiesce"]
+    assert [(e[4], e[6], e[7]) for e in quiesces] == [(0, 3, 1), (1, 1, 0)]
+
+
+def test_finalize_absorbs_dropped_request_with_completed_txn():
+    rec = _recorder()
+    rec.mint(0x40, 0, t=0.0)
+    rec.request_dropped(0x40, requester=2, at=1, t=3.0)
+    rec.transaction_complete(0x40, node=2, t=8.0)
+    rec.finalize(now=10.0)
+    absorbed = [e for e in rec.events if e[2] == "absorbed-by-reissue"]
+    assert [(e[3], e[4]) for e in absorbed] == [(0x40, 2)]
+    assert rec.stats()["lineage_absorbed_reissues"] == 1
+
+
+def test_finalize_leaves_unabsorbed_drop_without_terminal():
+    rec = _recorder()
+    rec.mint(0x40, 0, t=0.0)
+    rec.request_dropped(0x40, requester=2, at=1, t=3.0)
+    rec.finalize(now=10.0)
+    assert not any(e[2] == "absorbed-by-reissue" for e in rec.events)
+
+
+def test_stats_counts_terminals_and_volume():
+    rec = _recorder()
+    rec.mint(0x40, 0, t=0.0)
+    rec.sent(0x40, 0, 1, tokens=2, owner=False, msg_id=1, t=1.0)
+    rec.received(0x40, 1, tokens=2, owner=False, msg_id=1, t=2.0)
+    rec.finalize(now=5.0)
+    stats = rec.stats()
+    assert stats["lineage_blocks"] == 1
+    assert stats["lineage_transfers"] == 1
+    assert stats["lineage_terminals"] == 2  # two holders quiesced
+    assert stats["lineage_events"] == len(rec.events)
+    terminal_events = [e for e in rec.events if e[2] in TERMINAL_KINDS]
+    assert len(terminal_events) == stats["lineage_terminals"]

@@ -1,0 +1,155 @@
+"""LineageStore round-trips and the natural-language custody query."""
+
+import json
+import os
+
+import pytest
+
+from repro.lineage import LineageRecorder, LineageStore
+from repro.lineage.query import (
+    answer,
+    chain_slice,
+    format_event,
+    owner_location,
+    parse_question,
+)
+
+
+def _recorded(total=4, n_nodes=4):
+    """A two-block chain: 0x40 migrates 0 -> 1, 0x80 stays untouched
+    after mint, plus one non-owner split of 0x40 to node 2."""
+    rec = LineageRecorder(total, n_nodes)
+    rec.mint(0x40, 0, t=100.0)
+    rec.sent(0x40, 0, 1, tokens=total, owner=True, msg_id=1, t=200.0)
+    rec.received(0x40, 1, tokens=total, owner=True, msg_id=1, t=300.0)
+    rec.mint(0x80, 0, t=350.0)
+    rec.sent(0x40, 1, 2, tokens=1, owner=False, msg_id=2, t=400.0)
+    rec.received(0x40, 2, tokens=1, owner=False, msg_id=2, t=500.0)
+    rec.finalize(now=1000.0)
+    return rec
+
+
+def test_store_round_trip(tmp_path):
+    rec = _recorded()
+    store = LineageStore.write(rec, str(tmp_path / "store"))
+    assert store.meta["events"] == len(rec.events)
+    assert store.meta["fields"][0] == "seq"
+    assert store.meta["finalized"] is True
+    assert store.blocks() == [0x40, 0x80]
+    assert store.all_events() == rec.events
+    for block in store.blocks():
+        expected = [e for e in rec.events if e[3] == block]
+        assert store.events_for(block) == expected
+
+
+def test_store_is_append_only_jsonl(tmp_path):
+    rec = _recorded()
+    LineageStore.write(rec, str(tmp_path / "store"))
+    lines = (tmp_path / "store" / "events.jsonl").read_text().splitlines()
+    assert len(lines) == len(rec.events)
+    assert json.loads(lines[0])[2] == "mint"
+
+
+def test_events_for_unknown_block_is_empty(tmp_path):
+    store = LineageStore.write(_recorded(), str(tmp_path / "store"))
+    assert store.events_for(0x999) == []
+
+
+def test_reopening_a_store_reads_the_same_index(tmp_path):
+    root = str(tmp_path / "store")
+    LineageStore.write(_recorded(), root)
+    reopened = LineageStore(root)
+    assert reopened.blocks() == [0x40, 0x80]
+    assert os.path.exists(os.path.join(root, "index.json"))
+
+
+def test_missing_store_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        LineageStore(str(tmp_path / "nowhere"))
+
+
+# ----------------------------------------------------------------------
+# Question parsing
+# ----------------------------------------------------------------------
+
+
+def test_parse_question_hex_block_and_t_equals():
+    assert parse_question("where was block 0x40's owner token at t=4200?") \
+        == (0x40, 4200.0)
+
+
+def test_parse_question_decimal_block_and_at_time():
+    assert parse_question("block 64 at 250") == (64, 250.0)
+
+
+def test_parse_question_microseconds_scale():
+    block, t = parse_question("block 0x40 at t=4.2us")
+    assert block == 0x40 and t == pytest.approx(4200.0)
+
+
+def test_parse_question_rejects_missing_parts():
+    with pytest.raises(ValueError, match="no block number"):
+        parse_question("where was the owner token at t=42?")
+    with pytest.raises(ValueError, match="no time"):
+        parse_question("where was block 0x40's owner token?")
+
+
+# ----------------------------------------------------------------------
+# Owner location over a recorded chain
+# ----------------------------------------------------------------------
+
+
+def test_owner_location_before_mint_is_home():
+    rec = _recorded()
+    events = [e for e in rec.events if e[3] == 0x40]
+    loc = owner_location(events, 0x40, t=50.0, n_nodes=4)
+    assert loc["state"] == "home"
+    assert loc["node"] == 0x40 % 4
+
+
+def test_owner_location_at_node_after_mint():
+    rec = _recorded()
+    events = [e for e in rec.events if e[3] == 0x40]
+    loc = owner_location(events, 0x40, t=150.0, n_nodes=4)
+    assert loc["state"] == "node" and loc["node"] == 0
+    assert loc["since"] == 100.0
+
+
+def test_owner_location_in_flight_between_send_and_receive():
+    rec = _recorded()
+    events = [e for e in rec.events if e[3] == 0x40]
+    loc = owner_location(events, 0x40, t=250.0, n_nodes=4)
+    assert loc["state"] == "flight"
+    assert (loc["src"], loc["dst"]) == (0, 1)
+
+
+def test_owner_location_ignores_non_owner_transfers():
+    rec = _recorded()
+    events = [e for e in rec.events if e[3] == 0x40]
+    # The t=400 send carried no owner: the owner stays put at node 1.
+    loc = owner_location(events, 0x40, t=450.0, n_nodes=4)
+    assert loc["state"] == "node" and loc["node"] == 1
+
+
+def test_chain_slice_windows_around_time():
+    rec = _recorded()
+    events = [e for e in rec.events if e[3] == 0x40]
+    window = chain_slice(events, t=300.0, before=2, after=1)
+    assert all(len(e) == 9 for e in window)
+    assert any(e[2] == "recv" for e in window)
+
+
+def test_format_event_is_single_line():
+    rec = _recorded()
+    text = format_event(rec.events[0])
+    assert "\n" not in text
+    assert "mint" in text and "block 0x40" in text and "+owner" in text
+
+
+def test_answer_flagship_question_end_to_end(tmp_path):
+    store = LineageStore.write(_recorded(), str(tmp_path / "store"))
+    text = answer(store, "where was block 0x40's owner token at t=250?")
+    assert "in flight 0->1" in text
+    assert "custody chain around that time:" in text
+    text = answer(store, "where was block 0x40's owner token at t=350?")
+    assert "held at node 1" in text

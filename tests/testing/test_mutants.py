@@ -25,6 +25,9 @@ def _mutant_scenario(mutant, seed=0, **overrides):
         ops_per_proc=16 if mutant.protocol == "null-token" else 24,
         mutant=mutant.name,
         max_events=2_000_000,
+        # Lineage mutants attack the custody chain; only the armed
+        # outcome contract can see them.
+        lineage=mutant.lineage,
     )
     params.update(overrides)
     return Scenario(**params)
