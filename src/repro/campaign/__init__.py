@@ -17,7 +17,7 @@ differential conformance harness all declare
   command line (see :mod:`repro.campaign.cli`).
 """
 
-from repro.campaign.runner import RunReport, run_campaign
+from repro.campaign.runner import HeartbeatWriter, RunReport, run_campaign
 from repro.campaign.spec import (
     CampaignSpec,
     ScenarioCase,
@@ -29,6 +29,7 @@ from repro.campaign.store import CampaignStore, make_record
 __all__ = [
     "CampaignSpec",
     "CampaignStore",
+    "HeartbeatWriter",
     "RunReport",
     "ScenarioCase",
     "code_fingerprint",

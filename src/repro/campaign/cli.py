@@ -5,13 +5,16 @@
     python -m repro.campaign run --spec figures --jobs 8
     python -m repro.campaign run --spec explorer --seeds 64 --jobs 4
     python -m repro.campaign status --spec figures
+    python -m repro.campaign status --spec figures --watch
     python -m repro.campaign report --spec figures
     python -m repro.campaign report --spec predict --format csv
 
 ``report`` renders figure-style text by default; ``--format
-csv|markdown`` exports one row per scenario instead (simulate:
+csv|markdown|json`` exports one row per scenario instead (simulate:
 runtime/traffic per configuration; explore: oracle outcomes;
-differential: agreement).
+differential: agreement).  ``status --watch`` tails the heartbeat file
+``run`` rewrites after every completed scenario (per-shard throughput,
+completion counts, ETA) and exits when the run reports finished.
 
 ``run`` is incremental: killing it mid-campaign loses nothing but the
 in-flight scenarios, and the rerun executes only what the store is
@@ -107,12 +110,18 @@ def cmd_run(args) -> int:
         print(f"[{done:>5}/{_total}] {case.kind} {case.key[:12]}: {status}",
               flush=True)
 
+    # The heartbeat lives beside the shards so `status --watch` finds it
+    # from the spec alone; "-" disables it (e.g. read-only store mounts).
+    heartbeat = None
+    if args.heartbeat != "-":
+        heartbeat = args.heartbeat or Path(store.root) / "heartbeat.json"
     report = run_campaign(
         cases,
         store,
         jobs=args.jobs,
         progress=progress,
         max_tasks_per_child=args.max_tasks_per_child,
+        heartbeat=heartbeat,
     )
     print(
         f"campaign {spec.name!r}: {report.total} scenarios, "
@@ -142,6 +151,9 @@ def cmd_run(args) -> int:
 def cmd_status(args) -> int:
     spec = resolve_spec(args.spec, args)
     store = resolve_store(spec, args)
+    if args.watch:
+        return _watch_heartbeat(Path(store.root) / "heartbeat.json",
+                                args.interval)
     cases = spec.cases()
     missing = store.missing(cases)
     stats = store.stats()
@@ -158,6 +170,49 @@ def cmd_status(args) -> int:
     return 0
 
 
+def _watch_heartbeat(path: Path, interval: float) -> int:
+    """Tail a runner heartbeat file until it reports ``finished``.
+
+    The runner rewrites the file atomically (tmp + rename), so each
+    poll sees one complete JSON object; a line prints only when the
+    beat changed, so a stalled campaign is visibly stalled.  Exits 0
+    when the run finishes, nonzero on Ctrl-C.
+    """
+    import time
+
+    last = None
+    try:
+        while True:
+            try:
+                beat = json.loads(path.read_text())
+            except (FileNotFoundError, json.JSONDecodeError):
+                if last is None:
+                    print(f"waiting for {path} ...", flush=True)
+                    last = "waiting"
+                time.sleep(interval)
+                continue
+            key = (beat["completed"], beat["failures"], beat["finished"])
+            if key != last:
+                last = key
+                eta = beat.get("eta_s")
+                per_s = beat.get("throughput_per_s", 0.0)
+                shards = beat.get("shards", {})
+                print(
+                    f"{beat['completed']:>5}/{beat['total']} "
+                    f"({beat['completed'] / max(beat['total'], 1):.0%}) "
+                    f"{per_s:.2f}/s over {len(shards) or 1} shard(s), "
+                    f"{beat['failures']} failures, "
+                    f"eta {'-' if eta is None else f'{eta:.0f}s'}",
+                    flush=True,
+                )
+            if beat.get("finished"):
+                print("campaign finished", flush=True)
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 130
+
+
 def cmd_report(args) -> int:
     spec = resolve_spec(args.spec, args)
     store = resolve_store(spec, args)
@@ -171,7 +226,11 @@ def cmd_report(args) -> int:
         return 1
     if args.format != "text":
         headers, rows = _report_table(spec.kind, cases, store)
-        render = _format_csv if args.format == "csv" else _format_markdown
+        render = {
+            "csv": _format_csv,
+            "markdown": _format_markdown,
+            "json": _format_json,
+        }[args.format]
         text = render(headers, rows)
         print(text)
         if args.out:
@@ -450,6 +509,19 @@ def _format_csv(headers, rows) -> str:
     return buffer.getvalue().rstrip("\n")
 
 
+def _format_json(headers, rows) -> str:
+    """One object per scenario, keys in header order.
+
+    Key order is the header order (insertion order survives
+    ``json.dumps`` without ``sort_keys``), so the emitted bytes are a
+    stable function of the table — diffable across runs and safe to
+    check into golden files.
+    """
+    return json.dumps(
+        [dict(zip(headers, row)) for row in rows], indent=2
+    )
+
+
 def _format_markdown(headers, rows) -> str:
     def cell(value) -> str:
         return str(value).replace("|", "\\|")
@@ -512,13 +584,21 @@ def _parse_args(argv):
             cmd.add_argument("--expect-cached", action="store_true",
                              help="exit nonzero if anything executed")
             cmd.add_argument("-q", "--quiet", action="store_true")
+            cmd.add_argument("--heartbeat", default=None,
+                             help="live-progress JSON file (default: "
+                                  "<store>/heartbeat.json; '-' disables)")
+        if name == "status":
+            cmd.add_argument("--watch", action="store_true",
+                             help="tail the runner's heartbeat file")
+            cmd.add_argument("--interval", type=float, default=1.0,
+                             help="--watch poll interval in seconds")
         if name == "report":
             cmd.add_argument("--out", default=None,
                              help="also write the report to this file")
             cmd.add_argument("--format", default="text",
-                             choices=("text", "csv", "markdown"),
-                             help="text renders the figures; csv/markdown "
-                                  "export one row per scenario")
+                             choices=("text", "csv", "markdown", "json"),
+                             help="text renders the figures; csv/markdown/"
+                                  "json export one row per scenario")
     return parser.parse_args(argv)
 
 

@@ -34,10 +34,12 @@ most one in-flight line per worker (see :mod:`repro.campaign.store`).
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.campaign.executors import execute_case
@@ -69,6 +71,63 @@ class RunReport:
 _POOL_RETRIES = 2
 
 
+class HeartbeatWriter:
+    """Atomic progress beacon for ``campaign status --watch``.
+
+    One JSON object per beat, written tmp-then-:func:`os.replace` so a
+    concurrent reader never sees a torn file.  Beats happen on every
+    completion plus once at start and once at the end (``finished``
+    flips true), so a watcher polling the file sees monotone progress
+    and a definitive terminal state even for a 100%-cached run.
+    """
+
+    def __init__(self, path, total: int, cached: int, jobs: int) -> None:
+        self.path = Path(path)
+        self.total = total
+        self.cached = cached
+        self.jobs = jobs
+        self.failures = 0
+        self._streams: dict[str, int] = {}
+        self._started = time.time()
+        self._t0 = time.perf_counter()
+
+    def beat(self, done: int, stream: str | None = None,
+             ok: bool = True, finished: bool = False) -> None:
+        if stream is not None:
+            self._streams[stream] = self._streams.get(stream, 0) + 1
+        if not ok:
+            self.failures += 1
+        elapsed = time.perf_counter() - self._t0
+        executed = sum(self._streams.values())
+        rate = executed / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - done
+        payload = {
+            "total": self.total,
+            "completed": done,
+            "cached": self.cached,
+            "executed": executed,
+            "failures": self.failures,
+            "jobs": self.jobs,
+            "started_at": self._started,
+            "updated_at": time.time(),
+            "elapsed_s": round(elapsed, 3),
+            "throughput_per_s": round(rate, 4),
+            "eta_s": round(remaining / rate, 1) if rate > 0 else None,
+            "shards": {
+                name: {
+                    "completed": count,
+                    "per_s": round(count / elapsed, 4) if elapsed > 0 else 0.0,
+                }
+                for name, count in sorted(self._streams.items())
+            },
+            "finished": finished,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path)
+
+
 def resolve_jobs(jobs: int | None, n_cases: int) -> int:
     """Auto (``None``) = one worker per core, capped by the case count."""
     if jobs is None:
@@ -98,16 +157,18 @@ def _worker_init(root: str, n_shards: int) -> None:
     _worker_stream = f"worker-{os.getpid()}"
 
 
-def _worker_run(payload: tuple[str, dict, str]) -> tuple[str, bool, str | None]:
+def _worker_run(
+    payload: tuple[str, dict, str],
+) -> tuple[str, bool, str | None, str]:
     """Execute one case in a pool worker and publish its record."""
     kind, params, fingerprint = payload
     case = ScenarioCase(kind, params, fingerprint=fingerprint)
     try:
         result = execute_case(case)
     except Exception as exc:  # noqa: BLE001 — reported, not swallowed
-        return case.key, False, f"{type(exc).__name__}: {exc}"
+        return case.key, False, f"{type(exc).__name__}: {exc}", _worker_stream
     _worker_store.append(make_record(case, result), stream=_worker_stream)
-    return case.key, True, None
+    return case.key, True, None, _worker_stream
 
 
 def _ensure_child_import_path() -> None:
@@ -134,12 +195,17 @@ def run_campaign(
     progress: ProgressFn | None = None,
     max_tasks_per_child: int | None = None,
     compact: bool = True,
+    heartbeat: "str | os.PathLike | None" = None,
 ) -> RunReport:
     """Execute every case not yet in ``store``; return what happened.
 
     Failures (executor exceptions, as opposed to oracle violations,
     which are ordinary *results* for the ``explore`` kind) are listed in
     the report and their cases left unrecorded, so a rerun retries them.
+
+    ``heartbeat`` names a JSON file atomically rewritten on every
+    completion (see :class:`HeartbeatWriter`); ``python -m
+    repro.campaign status --watch`` tails it for live progress.
     """
     if isinstance(spec_or_cases, CampaignSpec):
         cases = spec_or_cases.cases()
@@ -151,6 +217,10 @@ def run_campaign(
     done = total - len(missing)
     failures: list[dict] = []
     jobs = resolve_jobs(jobs, len(missing))
+    beacon = None
+    if heartbeat is not None:
+        beacon = HeartbeatWriter(heartbeat, total, done, jobs)
+        beacon.beat(done)
 
     if missing and jobs == 1:
         for case in missing:
@@ -161,11 +231,15 @@ def run_campaign(
                     {"key": case.key, "error": f"{type(exc).__name__}: {exc}"}
                 )
                 done += 1
+                if beacon is not None:
+                    beacon.beat(done, stream="serial", ok=False)
                 if progress is not None:
                     progress(done, total, case, False, failures[-1]["error"])
                 continue
             store.append(make_record(case, result), stream="serial")
             done += 1
+            if beacon is not None:
+                beacon.beat(done, stream="serial")
             if progress is not None:
                 progress(done, total, case, True, None)
     elif missing:
@@ -211,10 +285,12 @@ def run_campaign(
                         by_case[future] = case
                     for future in as_completed(by_case):
                         case = by_case[future]
-                        key, ok, error = future.result()
+                        key, ok, error, stream = future.result()
                         if not ok:
                             failures.append({"key": key, "error": error})
                         done += 1
+                        if beacon is not None:
+                            beacon.beat(done, stream=stream, ok=ok)
                         if progress is not None:
                             progress(done, total, case, ok, error)
                 remaining = []
@@ -248,6 +324,8 @@ def run_campaign(
                 for case in remaining
             )
 
+    if beacon is not None:
+        beacon.beat(done, finished=True)
     store.close()
     if compact and store.dirty:
         # compact() re-reads everything on disk, which also folds the

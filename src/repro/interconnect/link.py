@@ -46,6 +46,10 @@ class Link:
         # contract: the base class never reads it, a faulty subclass
         # with ``__slots__ = ()`` does.
         "_fault",
+        # Reserved for the observability layer (repro.observe), same
+        # contract: only a traced subclass with ``__slots__ = ()``
+        # reads it.
+        "_observe",
     )
 
     def __init__(

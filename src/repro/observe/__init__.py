@@ -1,0 +1,44 @@
+"""Opt-in observability: timeline tracing, histograms, self-profiling.
+
+The layer follows the repo's zero-cost instrumentation contract
+(:mod:`repro.lineage.hooks`, :mod:`repro.faults.inject`): a system that
+never calls :func:`install_tracing` executes pristine classes with no
+flag checks anywhere, and an armed run is *observationally identical* —
+same events, same timestamps, same results — because every hook records
+synchronously inside existing events and then falls through.
+
+* :func:`install_tracing` — arm a built system; returns the
+  :class:`TraceRecorder` holding message lifecycle spans, per-link
+  occupancy, miss spans, protocol marks, and epoch-sampled time series.
+* :func:`chrome_trace` / :func:`text_timeline` / :func:`protocol_diff`
+  — render a recorder as Chrome trace-event JSON (loadable by Perfetto
+  / ``chrome://tracing``), a plain-text timeline, or a two-run
+  comparison.
+* Kernel self-profiling lives in :mod:`repro.sim.kernel`
+  (``install_profiler``) because it instruments the event loop itself.
+
+CLI::
+
+    python -m repro.observe export  --protocol tokenb --out trace.json
+    python -m repro.observe timeline --protocol tokenb --limit 40
+    python -m repro.observe diff tokenb directory --workload false_sharing
+"""
+
+from repro.observe.export import (
+    chrome_trace,
+    protocol_diff,
+    text_timeline,
+    validate_chrome_trace,
+)
+from repro.observe.hooks import install_tracing, is_installed
+from repro.observe.trace import TraceRecorder
+
+__all__ = [
+    "TraceRecorder",
+    "install_tracing",
+    "is_installed",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "text_timeline",
+    "protocol_diff",
+]

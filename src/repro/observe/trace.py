@@ -1,0 +1,192 @@
+"""The trace recorder: what an armed run writes down.
+
+Events are stored as flat tuples in per-kind lists — the cheapest thing
+the hooks can append on the hot path — and interpreted only at export
+time.  Tuple layouts:
+
+* ``sends``:         ``(t, node, msg_id, label, dst, size_bytes)``
+* ``delivers``:      ``(t, node, msg_id, label)``
+* ``hops``:          ``(t_start, t_end, link_name, category, size_bytes)``
+  — one serialization-slot occupancy per link crossing (``t_end`` is
+  when the slot frees; propagation latency is not part of the span).
+* ``miss_spans``:    ``(t_start, t_end, node, block, kind)`` with
+  ``kind`` in ``{"load", "store"}`` — MSHR allocate to release.
+* ``marks``:         ``(t, node, name, block)`` — protocol instants
+  (persistent-request escalation/activation, reissue broadcasts).
+* ``fault_windows``: ``(t_start, t_end, kind, target)`` — copied from
+  the scenario's :class:`~repro.faults.FaultPlan` at install time.
+
+Distributions (:class:`~repro.sim.stats.Histogram`) ride along: exact
+per-miss latency (recorded by the sequencer hook) and kernel queue depth
+(sampled at every delivery).  ``timeseries`` holds epoch-aligned samples
+of the cumulative counters so reports can plot traffic and misses over
+*simulated* time; samples are taken inside the delivery hook at the
+first delivery at-or-after each epoch boundary — never via kernel
+events, so arming the sampler cannot change ``events_fired``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import Histogram
+
+#: Keys of one ``timeseries`` sample, in tuple order.
+TIMESERIES_FIELDS = (
+    "t_ns",
+    "traffic_bytes",
+    "l2_misses",
+    "persistent_requests",
+    "reissued_requests",
+    "deliveries",
+)
+
+
+class TraceRecorder:
+    """Accumulates one run's timeline; see the module docstring."""
+
+    def __init__(self, epoch_ns: float | None = None) -> None:
+        if epoch_ns is not None and epoch_ns <= 0:
+            raise ValueError(f"epoch_ns must be positive, got {epoch_ns}")
+        self.sends: list[tuple] = []
+        self.delivers: list[tuple] = []
+        self.hops: list[tuple] = []
+        self.miss_spans: list[tuple] = []
+        self.marks: list[tuple] = []
+        self.fault_windows: list[tuple] = []
+        self.miss_latency = Histogram()
+        self.queue_depth = Histogram()
+        self.timeseries: list[tuple] = []
+        self.epoch_ns = epoch_ns
+        self._next_epoch = epoch_ns if epoch_ns is not None else None
+        self._open_misses: dict[tuple[int, int], tuple[float, str]] = {}
+        self.n_nodes = 0
+        self.meta: dict = {}
+        self._system = None
+
+    # ------------------------------------------------------------------
+    # Installation plumbing
+    # ------------------------------------------------------------------
+
+    def bind(self, system) -> None:
+        """Attach run metadata; called once by ``install_tracing``."""
+        self._system = system
+        self.n_nodes = system.config.n_procs
+        self.meta = {
+            "protocol": system.config.protocol,
+            "interconnect": system.config.interconnect,
+            "n_procs": system.config.n_procs,
+            "workload": system.workload_name,
+        }
+
+    def note_fault_windows(self, plan) -> None:
+        for event in plan.events:
+            self.fault_windows.append(
+                (event.start_ns, event.start_ns + event.duration_ns,
+                 event.kind, event.target)
+            )
+
+    # ------------------------------------------------------------------
+    # Hook entry points (hot path: append-only)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _label(msg) -> str:
+        """Coherence messages show their mtype; raw messages the category."""
+        return getattr(msg, "mtype", None) or msg.category
+
+    def sent(self, t: float, node: int, msg) -> None:
+        self.sends.append(
+            (t, node, msg.msg_id, self._label(msg), msg.dst, msg.size_bytes)
+        )
+
+    def delivered(self, t: float, node: int, msg) -> None:
+        self.delivers.append((t, node, msg.msg_id, self._label(msg)))
+
+    def hop(
+        self, start: float, end: float, link: str, category: str, size: int
+    ) -> None:
+        self.hops.append((start, end, link, category, size))
+
+    def miss_started(
+        self, t: float, node: int, block: int, for_write: bool
+    ) -> None:
+        self._open_misses[(node, block)] = (t, "store" if for_write else "load")
+
+    def miss_finished(self, t: float, node: int, block: int) -> None:
+        opened = self._open_misses.pop((node, block), None)
+        if opened is not None:
+            start, kind = opened
+            self.miss_spans.append((start, t, node, block, kind))
+
+    def mark(self, t: float, node: int, name: str, block: int) -> None:
+        self.marks.append((t, node, name, block))
+
+    def sample_clock(self, now: float) -> None:
+        """Epoch time series: one sample per elapsed epoch boundary.
+
+        Called from the delivery hook, so samples land at the first
+        delivery at-or-after each boundary; a quiet stretch spanning
+        several epochs yields one (cumulative) sample per boundary, all
+        carrying the state observed at that first delivery.
+        """
+        boundary = self._next_epoch
+        if boundary is None or now < boundary:
+            return
+        system = self._system
+        traffic = system.traffic.total_bytes()
+        counters = system.counters
+        misses = counters.get("l2_miss")
+        persistent = counters.get("persistent_request")
+        reissued = counters.get("reissued_request")
+        deliveries = len(self.delivers)
+        epoch = self.epoch_ns
+        while boundary <= now:
+            self.timeseries.append(
+                (boundary, traffic, misses, persistent, reissued, deliveries)
+            )
+            boundary += epoch
+        self._next_epoch = boundary
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def open_miss_count(self) -> int:
+        """Miss spans opened but never closed (0 after a clean run)."""
+        return len(self._open_misses)
+
+    def mark_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for _t, _node, name, _block in self.marks:
+            counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def timeseries_dicts(self) -> list[dict]:
+        return [dict(zip(TIMESERIES_FIELDS, row)) for row in self.timeseries]
+
+    def summary(self) -> dict:
+        """JSON-safe telemetry digest attached to scenario outcomes.
+
+        ``miss_latency_hist`` carries the full bucket state so campaign
+        shards can :meth:`~repro.sim.stats.Histogram.merge` per-scenario
+        distributions into one.
+        """
+        return {
+            "sends": len(self.sends),
+            "delivers": len(self.delivers),
+            "hops": len(self.hops),
+            "miss_spans": len(self.miss_spans),
+            "open_misses": self.open_miss_count(),
+            "marks": self.mark_counts(),
+            "fault_windows": len(self.fault_windows),
+            "miss_latency": self.miss_latency.percentiles(),
+            "miss_latency_hist": self.miss_latency.to_dict(),
+            "queue_depth": self.queue_depth.percentiles(),
+            "timeseries_samples": len(self.timeseries),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder(sends={len(self.sends)}, "
+            f"delivers={len(self.delivers)}, hops={len(self.hops)}, "
+            f"miss_spans={len(self.miss_spans)})"
+        )

@@ -76,6 +76,9 @@ class Simulator:
         # perturbing subclass with ``__slots__ = ()`` be installed by
         # ``__class__`` reassignment on a live simulator.
         "_perturb",
+        # Reserved for the self-profiling layer (install_profiler below),
+        # same contract: only ProfilingSimulator reads it.
+        "_profile",
     )
 
     def __init__(self) -> None:
@@ -102,8 +105,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (cancelled events included)."""
-        return len(self._heap)
+        """Number of *live* events still queued.
+
+        Cancelled events linger in the heap until popped or compacted;
+        they will never fire, so they are excluded here — the count is
+        the same whether or not a compaction has happened to run.
+        """
+        return len(self._heap) - self._cancelled_pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -211,6 +219,10 @@ class Simulator:
                         if event.cancelled:
                             self._cancelled_pending -= 1
                             continue
+                        # Fired: detach so a late cancel() (e.g. a timer
+                        # cancelled by the very callback it raced) cannot
+                        # count a heap entry that is no longer there.
+                        event._sim = None
                         callback = event.callback
                         args = event.args
                     self._now = time
@@ -230,6 +242,7 @@ class Simulator:
                     if event.cancelled:
                         self._cancelled_pending -= 1
                         continue
+                    event._sim = None  # fired: late cancels don't count
                     callback, args = event.callback, event.args
                 self._now = entry[0]
                 fired += 1
@@ -260,9 +273,182 @@ class Simulator:
                 if event.cancelled:
                     self._cancelled_pending -= 1
                     continue
+                event._sim = None  # fired: late cancels don't count
                 callback, args = event.callback, event.args
             self._now = entry[0]
             self._events_fired += 1
             callback(*args)
             return True
         return False
+
+
+# ----------------------------------------------------------------------
+# Self-profiling (opt-in, installed by __class__ swap)
+# ----------------------------------------------------------------------
+
+#: Heap depth is sampled once per this many fired events.
+_PROFILE_SAMPLE_EVERY = 256
+
+
+def _callback_category(callback) -> str:
+    """Attribution label for a scheduled callback.
+
+    Bound methods — the overwhelming majority of kernel traffic — are
+    labelled ``Class.method`` of the *receiver's* class, so a swapped-in
+    instrumentation subclass shows up under its own name.  Bare
+    functions and closures fall back to their qualified name.
+    """
+    receiver = getattr(callback, "__self__", None)
+    if receiver is not None:
+        return f"{type(receiver).__name__}.{callback.__name__}"
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+class KernelProfile:
+    """Where the kernel's time goes, by callback category.
+
+    ``categories`` maps the :func:`_callback_category` label to
+    ``[events, wall_seconds]``.  Heap depth is sampled every
+    :data:`_PROFILE_SAMPLE_EVERY` events into a :class:`Histogram`
+    (imported lazily — :mod:`repro.sim.stats` has no kernel
+    dependency), and every compaction records how many entries it
+    dropped.  This is the measurement the PDES partitioning work needs:
+    which callbacks dominate, and how deep the shared heap actually
+    runs.
+    """
+
+    __slots__ = (
+        "categories",
+        "heap_depth",
+        "compactions",
+        "compacted_entries",
+        "wall_s",
+    )
+
+    def __init__(self) -> None:
+        from repro.sim.stats import Histogram
+
+        self.categories: dict[str, list] = {}
+        self.heap_depth = Histogram()
+        self.compactions = 0
+        self.compacted_entries = 0
+        self.wall_s = 0.0
+
+    @property
+    def events(self) -> int:
+        return sum(entry[0] for entry in self.categories.values())
+
+    def table(self) -> str:
+        """The profile, one row per category, hottest wall time first."""
+        total_wall = sum(entry[1] for entry in self.categories.values())
+        lines = [
+            f"{'callback':<42} {'events':>10} {'wall ms':>9} {'share':>6}"
+        ]
+        ranked = sorted(
+            self.categories.items(), key=lambda item: (-item[1][1], item[0])
+        )
+        for category, (events, wall) in ranked:
+            share = wall / total_wall if total_wall else 0.0
+            lines.append(
+                f"{category:<42} {events:>10} {wall * 1e3:>9.2f} "
+                f"{share:>6.1%}"
+            )
+        depth = self.heap_depth.percentiles()
+        lines.append(
+            f"{self.events} events in {total_wall * 1e3:.2f} ms of callback "
+            f"wall time ({self.wall_s * 1e3:.2f} ms total); heap depth "
+            f"p50={depth['p50']:.0f} p99={depth['p99']:.0f} "
+            f"max={depth['max']:.0f}; {self.compactions} compactions "
+            f"dropped {self.compacted_entries} cancelled entries"
+        )
+        return "\n".join(lines)
+
+
+class ProfilingSimulator(Simulator):
+    """Simulator whose run loop attributes wall time per callback.
+
+    Not the hot loop: every pop pays two ``perf_counter`` reads and a
+    category lookup, which is exactly the overhead
+    ``bench_observe_overhead.py`` measures.  Outputs are untouched —
+    events fire in the same order at the same times, and the profiler
+    adds no kernel events — so a profiled run's results are
+    bit-identical to an unprofiled one.
+    """
+
+    __slots__ = ()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        from time import perf_counter
+
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        profile = self._profile
+        categories = profile.categories
+        sample_depth = profile.heap_depth.record
+        heap = self._heap
+        fired = self._events_fired
+        run_started = perf_counter()
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return
+                entry = heappop(heap)
+                args = entry[3]
+                if args is not None:
+                    callback = entry[2]
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    event._sim = None  # fired: late cancels don't count
+                    callback, args = event.callback, event.args
+                self._now = entry[0]
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now}"
+                    )
+                if not fired % _PROFILE_SAMPLE_EVERY:
+                    sample_depth(len(heap))
+                category = _callback_category(callback)
+                entry = categories.get(category)
+                if entry is None:
+                    entry = categories[category] = [0, 0.0]
+                started = perf_counter()
+                callback(*args)
+                entry[1] += perf_counter() - started
+                entry[0] += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._events_fired = fired
+            self._running = False
+            profile.wall_s += perf_counter() - run_started
+
+    def _compact(self) -> None:
+        profile = self._profile
+        before = len(self._heap)
+        Simulator._compact(self)
+        profile.compactions += 1
+        profile.compacted_entries += before - len(self._heap)
+
+
+def install_profiler(sim: Simulator) -> KernelProfile:
+    """Swap ``sim`` onto the profiling run loop; returns the profile.
+
+    Requires a stock :class:`Simulator`: layers that take over the
+    kernel by ``__class__`` swap (e.g. the perturbation layer) cannot
+    share the object, mirroring the fault injector's link rule.
+    """
+    if type(sim) is not Simulator:
+        raise ValueError(
+            "profiler needs a stock Simulator to take over, not "
+            f"{type(sim).__name__}"
+        )
+    profile = KernelProfile()
+    sim._profile = profile
+    sim.__class__ = ProfilingSimulator
+    return profile

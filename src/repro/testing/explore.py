@@ -93,6 +93,9 @@ class Scenario:
     #: Arm the token-custody recorder + outcome-contract oracle
     #: (token protocols only — custody is a token-counting notion).
     lineage: bool = False
+    #: Arm timeline tracing (repro.observe); the outcome then carries a
+    #: telemetry summary with a mergeable miss-latency histogram.
+    observe: bool = False
 
     def label(self) -> str:
         parts = [
@@ -109,6 +112,8 @@ class Scenario:
             parts.append("faults[" + ",".join(kinds) + "]")
         if self.lineage:
             parts.append("+lineage")
+        if self.observe:
+            parts.append("+observe")
         if self.mutant:
             parts.append(f"mutant={self.mutant}")
         return " ".join(parts)
@@ -153,6 +158,10 @@ class ScenarioOutcome:
     #: (``lineage_events``/``_transfers``/``_blocks``/``_terminals``/
     #: ``_absorbed_reissues``); {} otherwise.
     lineage_stats: dict = dataclasses.field(default_factory=dict)
+    #: Trace-recorder summary when ``Scenario.observe`` was set (span
+    #: counts, mergeable ``miss_latency_hist``, queue-depth percentiles
+    #: — see :meth:`repro.observe.TraceRecorder.summary`); {} otherwise.
+    telemetry: dict = dataclasses.field(default_factory=dict)
 
 
 def _build_config(scenario: Scenario) -> SystemConfig:
@@ -278,6 +287,19 @@ def run_scenario_recorded(scenario: Scenario):
     injector = FaultInjector(scenario.faults, recorder=recorder)
     if scenario.faults.any_active():
         injector.install(system)
+    trace = None
+    if scenario.observe:
+        # Tracing composes on top of every other layer (its subclasses
+        # derive from whatever class each object currently has), so it
+        # installs strictly last.
+        from repro.observe import install_tracing
+
+        trace = install_tracing(
+            system,
+            fault_plan=(
+                scenario.faults if scenario.faults.any_active() else None
+            ),
+        )
     try:
         result = system.run(max_events=scenario.max_events)
         _post_run_oracles(system, result, expected_ops)
@@ -298,6 +320,7 @@ def run_scenario_recorded(scenario: Scenario):
             perturb_stats=dict(perturber.stats),
             fault_stats=dict(injector.stats),
             lineage_stats=recorder.stats() if recorder is not None else {},
+            telemetry=trace.summary() if trace is not None else {},
         ), recorder
     return ScenarioOutcome(
         ok=True,
@@ -313,6 +336,7 @@ def run_scenario_recorded(scenario: Scenario):
         ) if scenario.faults.any_active() else 0.0,
         traffic_bytes=dict(result.traffic_bytes),
         lineage_stats=recorder.stats() if recorder is not None else {},
+        telemetry=trace.summary() if trace is not None else {},
     ), recorder
 
 
@@ -395,6 +419,10 @@ def make_scenario(
         # recorder everywhere it is meaningful makes the outcome
         # contract a standing oracle of every sweep.
         lineage=token,
+        # Timeline telemetry on every sweep point: outcomes carry
+        # mergeable miss-latency histograms, and every sweep doubles as
+        # an armed-vs-unarmed equivalence exercise.
+        observe=True,
     )
 
 
@@ -490,6 +518,9 @@ def make_fault_scenario(
         # Fault-aware custody: corruption-dropped request chains must
         # terminate as absorbed-by-reissue, never dangle.
         lineage=is_token_protocol(protocol),
+        # Fault windows render on the trace; TTR distributions aggregate
+        # from the per-scenario telemetry in summarize().
+        observe=True,
     )
 
 
@@ -532,8 +563,12 @@ def summarize(scenarios, outcomes) -> dict:
     *when* each outcome was produced — so a resumed campaign aggregates
     byte-identically to an uninterrupted one.
     """
+    from repro.sim.stats import Histogram
+
     violations = []
     by_protocol: dict[str, int] = {}
+    miss_latency = Histogram()
+    ttr = Histogram()
     totals = {"persistent_requests": 0, "reissued_requests": 0,
               "dropped_requests": 0, "duplicated_requests": 0,
               "forced_escalations": 0, "events_fired": 0,
@@ -555,6 +590,19 @@ def summarize(scenarios, outcomes) -> dict:
             totals[stat] += value
         for stat, value in outcome.lineage_stats.items():
             totals[stat] += value
+        hist = outcome.telemetry.get("miss_latency_hist")
+        if hist:
+            # Associative bucket-count merge: any sharding of the sweep
+            # folds to the same distribution.
+            miss_latency.merge(Histogram.from_dict(hist))
+        if (
+            outcome.ok
+            and scenario.faults.any_active()
+            and sum(outcome.fault_stats.values())
+        ):
+            # TTR is a measurement only where a fault actually fired
+            # (the resilience-report rule from the campaign CLI).
+            ttr.record(outcome.recovery_ns)
         if not outcome.ok:
             violations.append(
                 {
@@ -569,6 +617,10 @@ def summarize(scenarios, outcomes) -> dict:
         "violation_count": len(violations),
         "by_protocol": by_protocol,
         "totals": totals,
+        "distributions": {
+            "miss_latency_ns": miss_latency.percentiles(),
+            "ttr_ns": ttr.percentiles(),
+        },
     }
 
 

@@ -225,3 +225,122 @@ def test_differential_report_renders_agreement(tmp_path, capsys):
     assert main(["report", "--spec", str(spec), "--store", store]) == 0
     out = capsys.readouterr().out
     assert "agreed" in out and "0 disagreements" in out
+
+
+def test_report_format_json_stable_key_order(mini_spec_file, tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    capsys.readouterr()
+
+    out_file = tmp_path / "report.json"
+    assert main(["report", "--spec", mini_spec_file, "--store", store,
+                 "--format", "json", "--out", str(out_file)]) == 0
+    first = capsys.readouterr().out
+    rows = json.loads(out_file.read_text())
+    assert len(rows) == 2
+    # Keys come out in header order — stable, not alphabetized.
+    assert list(rows[0]) == [
+        "workload", "protocol", "interconnect", "n_procs",
+        "cycles_per_transaction", "bytes_per_miss", "runtime_ns",
+        "total_ops", "bandwidth", "variant",
+    ]
+    assert {row["protocol"] for row in rows} == {"tokenb", "directory"}
+
+    # Byte-stable across invocations (the diffable-export contract),
+    # and the file holds exactly what was printed.
+    assert first.startswith(out_file.read_text().rstrip("\n"))
+    assert main(["report", "--spec", mini_spec_file, "--store", store,
+                 "--format", "json"]) == 0
+    second = capsys.readouterr().out
+    assert second == first[: len(second)]
+
+
+def test_report_format_json_explore_kind(tmp_path, capsys):
+    grid = [{"seed": 0, "protocol": "tokenb", "interconnect": "torus",
+             "workload": "false_sharing", "ops_per_proc": 8}]
+    spec = tmp_path / "explore.json"
+    spec.write_text(json.dumps(
+        {"name": "explore", "kind": "explore", "grid": grid}
+    ))
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", str(spec), "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    capsys.readouterr()
+    assert main(["report", "--spec", str(spec), "--store", store,
+                 "--format", "json"]) == 0
+    [row] = json.loads(capsys.readouterr().out)
+    assert row["protocol"] == "tokenb"
+    assert row["ok"] is True
+    assert list(row)[0] == "protocol"
+
+
+# ----------------------------------------------------------------------
+# status --watch
+# ----------------------------------------------------------------------
+
+
+def test_status_watch_tails_heartbeat_to_completion(
+    mini_spec_file, tmp_path, capsys
+):
+    """Runner-driven watch: the run writes its heartbeat into the store,
+    then --watch replays it and exits on the finished flag."""
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    capsys.readouterr()
+    assert main(["status", "--spec", mini_spec_file, "--store", store,
+                 "--watch", "--interval", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 (100%)" in out
+    assert "campaign finished" in out
+
+
+def test_status_watch_waits_for_live_run(mini_spec_file, tmp_path, capsys):
+    """--watch starts before the campaign does: it waits, then streams
+    progress beats as a concurrent runner writes them."""
+    import threading
+    import time
+
+    from repro.campaign.runner import HeartbeatWriter
+
+    store = tmp_path / "store"
+    store.mkdir()
+    beat_path = store / "heartbeat.json"
+
+    def fake_runner():
+        writer = HeartbeatWriter(beat_path, total=3, cached=0, jobs=1)
+        for done in range(1, 4):
+            time.sleep(0.05)
+            writer.beat(done, stream="serial", finished=done == 3)
+
+    thread = threading.Thread(target=fake_runner)
+    thread.start()
+    try:
+        assert main(["status", "--spec", mini_spec_file,
+                     "--store", str(store), "--watch",
+                     "--interval", "0.01"]) == 0
+    finally:
+        thread.join()
+    out = capsys.readouterr().out
+    assert "waiting for" in out
+    assert "3/3 (100%)" in out
+    assert "campaign finished" in out
+
+
+def test_run_heartbeat_flag_overrides_and_disables(
+    mini_spec_file, tmp_path, capsys
+):
+    custom = tmp_path / "custom-beat.json"
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q", "--heartbeat", str(custom)]) == 0
+    assert json.loads(custom.read_text())["finished"] is True
+    capsys.readouterr()
+
+    disabled_store = str(tmp_path / "store2")
+    assert main(["run", "--spec", mini_spec_file, "--store", disabled_store,
+                 "--jobs", "1", "-q", "--heartbeat", "-"]) == 0
+    import pathlib
+
+    assert not (pathlib.Path(disabled_store) / "heartbeat.json").exists()

@@ -221,3 +221,94 @@ def test_explore_kind_records_violations_as_data(tmp_path):
     result = store.result_for(case)
     assert result["ok"] is False
     assert result["violation_type"] == "DeadlockError"
+
+
+# ----------------------------------------------------------------------
+# Heartbeat
+# ----------------------------------------------------------------------
+
+
+def test_heartbeat_written_atomically_and_finishes(tmp_path):
+    import json
+
+    spec = _tiny_spec(3)
+    store = CampaignStore(tmp_path / "store")
+    beat_path = tmp_path / "heartbeat.json"
+    beats = []
+
+    def progress(done, total, case, ok, error):
+        # Every progress tick must observe a complete, parseable beat
+        # whose completed count has already caught up to this tick.
+        beat = json.loads(beat_path.read_text())
+        assert beat["completed"] == done
+        assert not beat["finished"]
+        beats.append(beat)
+
+    report = run_campaign(spec, store, jobs=1, progress=progress,
+                          heartbeat=beat_path)
+    assert report.ok and len(beats) == 3
+    final = json.loads(beat_path.read_text())
+    assert final["finished"] is True
+    assert final["completed"] == final["total"] == 3
+    assert final["executed"] == 3
+    assert final["shards"]["serial"]["completed"] == 3
+    assert final["shards"]["serial"]["per_s"] > 0
+    assert final["eta_s"] == 0.0
+    assert final["updated_at"] >= final["started_at"]
+    # The tmp file never survives a completed atomic rename.
+    assert not beat_path.with_suffix(".tmp").exists()
+
+
+def test_heartbeat_counts_failures(tmp_path):
+    import json
+
+    def _boom(params):
+        raise RuntimeError("executor exploded")
+
+    executors.EXECUTORS["boom"] = _boom
+    try:
+        good = ScenarioCase("simulate", _sim_params("tokenb"))
+        bad = ScenarioCase("boom", {"x": 1})
+        beat_path = tmp_path / "hb.json"
+        report = run_campaign([good, bad], CampaignStore(tmp_path / "s"),
+                              jobs=1, heartbeat=beat_path)
+        assert len(report.failures) == 1
+        final = json.loads(beat_path.read_text())
+        assert final["failures"] == 1
+        assert final["completed"] == 2
+        assert final["finished"] is True
+    finally:
+        executors.EXECUTORS.pop("boom", None)
+
+
+def test_heartbeat_on_fully_cached_run(tmp_path):
+    """A 100% store hit still writes a terminal beat, so --watch on a
+    finished campaign exits instead of hanging."""
+    import json
+
+    spec = _tiny_spec(2)
+    store_root = tmp_path / "store"
+    run_campaign(spec, CampaignStore(store_root), jobs=1)
+    beat_path = tmp_path / "hb.json"
+    report = run_campaign(spec, CampaignStore(store_root), jobs=1,
+                          heartbeat=beat_path)
+    assert report.cached == 2 and report.executed == 0
+    final = json.loads(beat_path.read_text())
+    assert final["finished"] is True
+    assert final["completed"] == 2
+    assert final["cached"] == 2
+    assert final["executed"] == 0
+
+
+def test_heartbeat_parallel_tracks_worker_shards(tmp_path):
+    import json
+
+    spec = _tiny_spec(4)
+    beat_path = tmp_path / "hb.json"
+    report = run_campaign(spec, CampaignStore(tmp_path / "store"), jobs=2,
+                          heartbeat=beat_path)
+    assert report.ok and report.executed == 4
+    final = json.loads(beat_path.read_text())
+    assert final["finished"] is True
+    assert sum(s["completed"] for s in final["shards"].values()) == 4
+    assert all(name.startswith("worker-") for name in final["shards"])

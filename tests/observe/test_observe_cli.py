@@ -1,0 +1,54 @@
+"""``python -m repro.observe`` subcommands end to end."""
+
+import json
+
+from repro.observe.__main__ import main
+
+
+def test_export_writes_valid_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["export", "--protocol", "tokenb", "--seed", "3",
+                 "--ops", "30", "--out", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "trace ->" in stdout
+    assert "miss latency p50=" in stdout
+    payload = json.loads(out.read_text())
+    from repro.observe import validate_chrome_trace
+
+    assert validate_chrome_trace(payload) > 0
+    assert payload["otherData"]["protocol"] == "tokenb"
+
+
+def test_export_with_faults_renders_windows(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["export", "--protocol", "tokenb", "--faults", "link_flap",
+                 "--ops", "30", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert any(e.get("cat") == "fault" for e in payload["traceEvents"])
+
+
+def test_timeline_prints_merged_rows(capsys):
+    assert main(["timeline", "--protocol", "tokenb", "--seed", "1",
+                 "--ops", "25", "--limit", "15"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0].startswith("timeline: tokenb/")
+    assert sum(1 for line in lines if line.startswith("t=")) <= 15
+
+
+def test_diff_contrasts_protocols(capsys):
+    assert main(["diff", "tokenb", "directory", "--seed", "2",
+                 "--ops", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "tokenb" in out and "directory" in out
+    assert "miss latency p50 (ns)" in out
+    assert "sends" in out
+
+
+def test_profile_prints_kernel_table(capsys):
+    assert main(["profile", "--protocol", "tokenb", "--seed", "0",
+                 "--ops", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "wall" in out
+    # Categories name the pristine classes (profile runs un-traced).
+    assert "Traced" not in out
+    assert "events" in out

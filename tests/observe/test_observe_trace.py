@@ -1,0 +1,134 @@
+"""Unit tests for the trace recorder itself (no simulation needed)."""
+
+import pytest
+
+from repro.observe import TraceRecorder
+from repro.observe.trace import TIMESERIES_FIELDS
+
+
+class _Msg:
+    def __init__(self, msg_id=7, mtype=None, category="request",
+                 dst=2, size_bytes=8):
+        self.msg_id = msg_id
+        self.mtype = mtype
+        self.category = category
+        self.dst = dst
+        self.size_bytes = size_bytes
+
+
+def test_miss_span_opens_and_closes():
+    rec = TraceRecorder()
+    rec.miss_started(10.0, node=1, block=0x40, for_write=True)
+    assert rec.open_miss_count() == 1
+    rec.miss_finished(25.0, node=1, block=0x40)
+    assert rec.open_miss_count() == 0
+    assert rec.miss_spans == [(10.0, 25.0, 1, 0x40, "store")]
+
+
+def test_miss_finish_without_open_is_ignored():
+    rec = TraceRecorder()
+    rec.miss_finished(5.0, node=0, block=0x80)
+    assert rec.miss_spans == []
+    assert rec.open_miss_count() == 0
+
+
+def test_load_vs_store_kind():
+    rec = TraceRecorder()
+    rec.miss_started(0.0, 0, 0x40, for_write=False)
+    rec.miss_finished(1.0, 0, 0x40)
+    assert rec.miss_spans[0][4] == "load"
+
+
+def test_label_prefers_mtype_over_category():
+    rec = TraceRecorder()
+    rec.sent(1.0, 0, _Msg(mtype="GETS", category="request"))
+    rec.sent(2.0, 0, _Msg(mtype=None, category="data"))
+    assert rec.sends[0][3] == "GETS"
+    assert rec.sends[1][3] == "data"
+
+
+def test_mark_counts_sorted():
+    rec = TraceRecorder()
+    for name in ("reissue", "persistent-request", "reissue"):
+        rec.mark(1.0, 0, name, 0x40)
+    assert rec.mark_counts() == {"persistent-request": 1, "reissue": 2}
+    assert list(rec.mark_counts()) == ["persistent-request", "reissue"]
+
+
+def test_epoch_ns_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceRecorder(epoch_ns=0)
+    with pytest.raises(ValueError):
+        TraceRecorder(epoch_ns=-5.0)
+
+
+class _FakeCounters:
+    def __init__(self, values):
+        self._values = values
+
+    def get(self, key, default=0):
+        return self._values.get(key, default)
+
+
+class _FakeTraffic:
+    def __init__(self, total):
+        self._total = total
+
+    def total_bytes(self):
+        return self._total
+
+
+class _FakeSystem:
+    def __init__(self):
+        self.traffic = _FakeTraffic(100)
+        self.counters = _FakeCounters(
+            {"l2_miss": 3, "persistent_request": 1, "reissued_request": 2}
+        )
+
+
+def test_sample_clock_one_sample_per_elapsed_boundary():
+    rec = TraceRecorder(epoch_ns=10.0)
+    rec._system = _FakeSystem()
+    rec.sample_clock(5.0)  # before the first boundary: nothing
+    assert rec.timeseries == []
+    rec.sample_clock(10.0)  # exactly on the boundary
+    assert [row[0] for row in rec.timeseries] == [10.0]
+    # A quiet stretch spanning three boundaries yields three samples,
+    # all carrying the state observed at this first delivery.
+    rec.sample_clock(41.0)
+    assert [row[0] for row in rec.timeseries] == [10.0, 20.0, 30.0, 40.0]
+    sample = rec.timeseries_dicts()[-1]
+    assert sample == {
+        "t_ns": 40.0, "traffic_bytes": 100, "l2_misses": 3,
+        "persistent_requests": 1, "reissued_requests": 2, "deliveries": 0,
+    }
+    assert tuple(sample) == TIMESERIES_FIELDS
+
+
+def test_sample_clock_disabled_without_epoch():
+    rec = TraceRecorder()
+    rec._system = _FakeSystem()
+    rec.sample_clock(1000.0)
+    assert rec.timeseries == []
+
+
+def test_summary_is_json_safe_and_mergeable():
+    import json
+
+    rec = TraceRecorder()
+    rec.miss_latency.record(100.0)
+    rec.miss_latency.record(300.0)
+    rec.queue_depth.record(4)
+    rec.sent(1.0, 0, _Msg())
+    rec.delivered(2.0, 1, _Msg())
+    summary = rec.summary()
+    json.dumps(summary)  # must round-trip as campaign payload
+    assert summary["sends"] == 1
+    assert summary["delivers"] == 1
+    assert summary["miss_latency"]["count"] == 2
+
+    from repro.sim.stats import Histogram
+
+    rebuilt = Histogram.from_dict(summary["miss_latency_hist"])
+    assert rebuilt.count == 2
+    assert rebuilt.percentiles()["max"] == 300.0

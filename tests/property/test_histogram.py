@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) on the log-bucketed histogram.
+
+The campaign layer merges per-scenario histograms shard by shard in
+whatever order workers finish, so ``merge`` must be a commutative
+monoid action on the bucket state: any parenthesization and any order
+of the same sample multiset yields identical buckets, percentiles, and
+serialized form.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import Histogram
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    max_size=60,
+)
+
+
+def _hist(values) -> Histogram:
+    hist = Histogram()
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+def _state(hist: Histogram):
+    """Everything except the float ``sum``/``mean``, which accumulate
+    in merge order and may differ in the last bit — the bucket state
+    (what percentiles derive from) must be exactly order-independent."""
+    payload = dict(hist.to_dict())
+    total = payload.pop("sum")
+    summary = dict(hist.percentiles())
+    mean = summary.pop("mean")
+    return payload, summary, total, mean
+
+
+def _assert_same_state(a, b):
+    import math
+
+    payload_a, summary_a, sum_a, mean_a = a
+    payload_b, summary_b, sum_b, mean_b = b
+    assert payload_a == payload_b
+    assert summary_a == summary_b
+    assert math.isclose(sum_a, sum_b, rel_tol=1e-12, abs_tol=1e-9)
+    assert math.isclose(mean_a, mean_b, rel_tol=1e-12, abs_tol=1e-9)
+
+
+@given(samples, samples, samples)
+@settings(max_examples=100)
+def test_merge_is_associative(xs, ys, zs):
+    left = _hist(xs).merge(_hist(ys)).merge(_hist(zs))
+    right = _hist(xs).merge(_hist(ys).merge(_hist(zs)))
+    _assert_same_state(_state(left), _state(right))
+
+
+@given(samples, samples)
+@settings(max_examples=100)
+def test_merge_is_commutative(xs, ys):
+    _assert_same_state(
+        _state(_hist(xs).merge(_hist(ys))),
+        _state(_hist(ys).merge(_hist(xs))),
+    )
+
+
+@given(samples, samples)
+@settings(max_examples=100)
+def test_merge_equals_recording_concatenation(xs, ys):
+    """Sharding a sample stream and merging is indistinguishable from
+    recording it in one histogram — the exact property campaign
+    summarize() relies on."""
+    _assert_same_state(
+        _state(_hist(xs).merge(_hist(ys))), _state(_hist(xs + ys))
+    )
+
+
+@given(samples)
+@settings(max_examples=100)
+def test_merge_with_empty_is_identity(xs):
+    _assert_same_state(_state(_hist(xs).merge(Histogram())), _state(_hist(xs)))
+
+
+@given(samples)
+@settings(max_examples=100)
+def test_dict_round_trip_preserves_state(xs):
+    hist = _hist(xs)
+    _assert_same_state(_state(Histogram.from_dict(hist.to_dict())), _state(hist))
+
+
+@given(samples)
+@settings(max_examples=100)
+def test_percentiles_are_monotone_and_bounded(xs):
+    hist = _hist(xs)
+    p = [hist.percentile(q) for q in (0, 25, 50, 75, 90, 99, 100)]
+    assert p == sorted(p)
+    if xs:
+        assert p[-1] == max(xs)
+        # Every reported percentile is within one log-bucket (~25%) of
+        # the sample range.
+        assert p[0] <= max(xs)

@@ -238,10 +238,11 @@ def test_compaction_threshold_boundary():
     for handle in handles[: minimum - 1]:
         handle.cancel()
     # Below the count floor: nothing compacted even though the cancelled
-    # fraction is far above _COMPACT_FRACTION (pending_events counts
-    # cancelled entries that are still physically queued).
+    # fraction is far above _COMPACT_FRACTION — the cancelled entries
+    # stay physically queued, but pending_events reports live ones only.
     assert sim._cancelled_pending == minimum - 1
-    assert sim.pending_events == minimum + 10
+    assert len(sim._heap) == minimum + 10
+    assert sim.pending_events == 11
     handles[minimum - 1].cancel()
     # Count floor reached and fraction exceeded: compacted in place.
     assert sim._cancelled_pending == 0
@@ -275,6 +276,41 @@ def test_cancel_is_idempotent_and_tracked():
     assert sim.events_fired == 0
 
 
+def test_cancel_after_fire_does_not_corrupt_pending_count():
+    """Cancelling a handle whose event already fired must be a no-op:
+    before the fix it incremented ``_cancelled_pending`` with no
+    matching heap entry, driving ``pending_events`` negative."""
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    live = sim.schedule(2.0, lambda: None)
+    assert sim.step()  # fires `handle`'s event
+    handle.cancel()
+    assert sim._cancelled_pending == 0
+    assert sim.pending_events == 1
+    # The classic protocol shape: a timer cancelled from within its own
+    # firing (e.g. a completion racing its timeout).
+    sim2 = Simulator()
+    timer = []
+    timer.append(sim2.schedule(5.0, lambda: timer[0].cancel()))
+    sim2.run()
+    assert sim2._cancelled_pending == 0
+    assert sim2.pending_events == 0
+
+
+def test_pending_events_stays_non_negative_under_cancel_storm():
+    sim = Simulator()
+    handles = [sim.schedule(float(i), lambda: None) for i in range(20)]
+    for _ in range(7):
+        sim.step()
+    for handle in handles:
+        handle.cancel()  # 7 already fired, 13 still queued
+    assert sim._cancelled_pending == 13
+    assert sim.pending_events == 0
+    sim.run()
+    assert sim.events_fired == 7
+    assert sim.pending_events == 0
+
+
 def test_compaction_mid_run_from_callback():
     """A callback cancelling en masse (forcing compaction while run()
     iterates the heap) must not disturb later events."""
@@ -295,3 +331,110 @@ def test_compaction_mid_run_from_callback():
     assert fired == ["tail-a", "tail-b"]
     assert sim._cancelled_pending == 0
     assert kernel_mod._COMPACT_MIN_CANCELLED <= 100
+
+# ----------------------------------------------------------------------
+# Kernel self-profiling
+# ----------------------------------------------------------------------
+
+
+class _Ticker:
+    def __init__(self, sim):
+        self.sim = sim
+        self.ticks = 0
+
+    def tick(self):
+        self.ticks += 1
+        if self.ticks < 5:
+            self.sim.schedule(1.0, self.tick)
+
+
+def test_profiler_attributes_events_per_category():
+    from repro.sim.kernel import install_profiler
+
+    sim = Simulator()
+    ticker = _Ticker(sim)
+    sim.schedule(1.0, ticker.tick)
+    sim.schedule(0.5, lambda: None)
+    profile = install_profiler(sim)
+    sim.run()
+    assert ticker.ticks == 5
+    assert profile.categories["_Ticker.tick"][0] == 5
+    assert profile.categories["_Ticker.tick"][1] >= 0.0
+    assert profile.events == sim.events_fired == 6
+    assert profile.wall_s > 0.0
+
+
+def test_profiled_run_fires_identically():
+    """The profiling loop is the general loop plus timers: same firing
+    order, same clock, same event count."""
+    from repro.sim.kernel import install_profiler
+
+    def run(profiled):
+        sim = Simulator()
+        fired = []
+        for i in range(50):
+            sim.schedule(float(100 - i % 7), fired.append, i)
+        doomed = [sim.schedule(50.0, fired.append, "DOOMED")
+                  for _ in range(10)]
+        if profiled:
+            install_profiler(sim)
+        for handle in doomed:
+            handle.cancel()
+        sim.run(max_events=1000)
+        return fired, sim.now, sim.events_fired
+
+    assert run(False) == run(True)
+
+
+def test_profiler_requires_stock_simulator():
+    import pytest as _pytest
+
+    from repro.sim.kernel import install_profiler
+
+    sim = Simulator()
+    install_profiler(sim)
+    with _pytest.raises(ValueError):
+        install_profiler(sim)  # already swapped
+
+
+def test_profiler_table_renders():
+    from repro.sim.kernel import _PROFILE_SAMPLE_EVERY, install_profiler
+
+    sim = Simulator()
+    for _ in range(2 * _PROFILE_SAMPLE_EVERY):
+        sim.schedule(1.0, lambda: None)
+    profile = install_profiler(sim)
+    sim.run()
+    table = profile.table()
+    assert "callback" in table and "wall ms" in table
+    assert "heap depth" in table
+    assert profile.heap_depth.count == 2  # one sample per 256 events
+
+
+def test_profiler_counts_compactions():
+    from repro.sim import kernel as kernel_mod
+    from repro.sim.kernel import install_profiler
+
+    sim = Simulator()
+    profile = install_profiler(sim)
+    doomed = [
+        sim.schedule(1.0, lambda: None)
+        for _ in range(kernel_mod._COMPACT_MIN_CANCELLED + 10)
+    ]
+    for handle in doomed:
+        handle.cancel()
+    assert profile.compactions == 1
+    assert profile.compacted_entries > 0
+
+
+def test_callback_category_labels():
+    from repro.sim.kernel import _callback_category
+
+    sim = Simulator()
+    ticker = _Ticker(sim)
+    assert _callback_category(ticker.tick) == "_Ticker.tick"
+
+    def plain():
+        pass
+
+    assert "plain" in _callback_category(plain)

@@ -58,3 +58,102 @@ def test_latency_tracker_initial_ewma_used_before_samples():
     tracker = LatencyTracker(initial=200.0)
     assert tracker.ewma == 200.0
     assert tracker.mean == 0.0
+
+
+def test_traffic_meter_merged_rejects_duplicate_category():
+    """A category listed under two groups would be double-counted; the
+    grouping is a partition, and merged() enforces it."""
+    import pytest
+
+    meter = TrafficMeter()
+    meter.record_crossing("request", 8)
+    with pytest.raises(ValueError) as excinfo:
+        meter.merged({"a": ["request", "data"], "b": ["data"]})
+    assert "data" in str(excinfo.value)
+    # Duplicates within one group are equally wrong.
+    with pytest.raises(ValueError):
+        meter.merged({"a": ["request", "request"]})
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+
+
+def test_histogram_percentiles_bracket_exact_order_statistics():
+    from repro.sim.stats import Histogram
+
+    hist = Histogram()
+    values = [float(v) for v in range(1, 1001)]
+    for value in values:
+        hist.record(value)
+    assert hist.count == 1000
+    assert hist.max == 1000.0
+    # Log-bucketed: within one bucket width (~19%) of the exact value.
+    for p, exact in ((50, 500.0), (90, 900.0), (99, 990.0)):
+        reported = hist.percentile(p)
+        assert exact / 1.25 <= reported <= exact * 1.25
+    summary = hist.percentiles()
+    assert set(summary) == {"count", "mean", "p50", "p90", "p99", "max"}
+    assert summary["mean"] == sum(values) / len(values)
+
+
+def test_histogram_zero_and_negative_handling():
+    import pytest
+
+    from repro.sim.stats import Histogram
+
+    hist = Histogram()
+    hist.record(0.0)
+    hist.record(0.0)
+    hist.record(8.0)
+    assert hist.count == 3
+    assert hist.percentile(0) == 0.0
+    assert hist.percentile(50) == 0.0
+    assert hist.percentile(100) == 8.0
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_empty_is_all_zero():
+    from repro.sim.stats import Histogram
+
+    hist = Histogram()
+    assert hist.count == 0
+    assert hist.percentiles() == {
+        "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        "max": 0.0,
+    }
+
+
+def test_histogram_merge_adds_bucket_counts():
+    from repro.sim.stats import Histogram
+
+    a, b, both = Histogram(), Histogram(), Histogram()
+    for value in (1.0, 10.0, 100.0):
+        a.record(value)
+        both.record(value)
+    for value in (5.0, 50.0, 0.0):
+        b.record(value)
+        both.record(value)
+    a.merge(b)
+    assert a.count == both.count == 6
+    assert a.percentiles() == both.percentiles()
+    assert a.to_dict() == both.to_dict()
+
+
+def test_histogram_round_trips_through_dict():
+    import json
+
+    from repro.sim.stats import Histogram
+
+    hist = Histogram()
+    for value in (0.0, 1.5, 3.0, 700.25):
+        hist.record(value)
+    payload = json.loads(json.dumps(hist.to_dict()))
+    rebuilt = Histogram.from_dict(payload)
+    assert rebuilt.count == hist.count
+    assert rebuilt.percentiles() == hist.percentiles()
+    assert rebuilt.to_dict() == hist.to_dict()

@@ -84,6 +84,55 @@ def test_faults_layer_is_invisible_when_uninstalled():
     assert FaultInjector(FaultPlan()).stats["flap_dropped"] == 0
 
 
+def test_observe_layer_is_invisible_when_uninstalled():
+    """Importing (and arming elsewhere) the observability package must
+    not move a single event in an un-armed run — same reserved-slot +
+    ``__class__``-swap discipline as the fault layer."""
+    import repro.observe  # noqa: F401 — the import is the point
+
+    from repro.testing.explore import Scenario, run_scenario
+
+    # Arm tracing in this very process so cached traced classes and any
+    # leaked module state get their chance to show.
+    outcome = run_scenario(
+        Scenario(seed=0, protocol="tokenb", interconnect="torus",
+                 workload="false_sharing", n_procs=4, ops_per_proc=30,
+                 observe=True)
+    )
+    assert outcome.ok and outcome.telemetry["delivers"] > 0
+    case = GOLDEN["tokenb-torus"]
+    observed = _observed(_run_case(case))
+    expected = {key: case[key] for key in observed}
+    assert observed == expected
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN))
+def test_armed_tracing_matches_recorded_golden(label):
+    """An armed run reproduces the golden outputs bit-identically: the
+    trace layer observes the schedule without touching it."""
+    from repro.observe import install_tracing
+    from repro.system.builder import build_system
+    from repro.workloads import generate_streams
+
+    case = GOLDEN[label]
+    config = SystemConfig(n_procs=16, **case["config"])
+    spec = COMMERCIAL_WORKLOADS[case["workload"]].scaled(case["ops_per_proc"])
+    streams = generate_streams(
+        spec, config.n_procs, config.seed, config.block_bytes
+    )
+    system = build_system(
+        config, streams, workload_name=spec.name,
+        ops_per_transaction=spec.ops_per_transaction,
+    )
+    recorder = install_tracing(system, epoch_ns=200.0)
+    observed = _observed(system.run())
+    expected = {key: case[key] for key in observed}
+    assert observed == expected
+    # And the trace is not empty: the run was genuinely recorded.
+    assert recorder.delivers and recorder.hops
+    assert recorder.timeseries
+
+
 def test_unlimited_bandwidth_fast_path_matches_hop_by_hop():
     """The torus broadcast fast path (bandwidth=None posts every
     subtree delivery up front) must deliver exactly like progressive
