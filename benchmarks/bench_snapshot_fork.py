@@ -1,0 +1,193 @@
+"""Snapshot forking economics: warmup-once vs. cold replay.
+
+A scenario family shares one warmup prefix and diverges into N tails.
+The cold path re-simulates the warmup for every tail (N warmups); the
+fork path runs it once, snapshots, and restores a copy per tail.  This
+bench measures both across the protocol grid, asserts the tail results
+are bit-identical (the fork contract — pinned independently by
+``tests/snapshot/``), and reports the wall-time speedup, which grows
+with N and with the warmup:tail ratio.
+
+Results are written to ``BENCH_snapshot.json`` at the repo root
+(override with ``REPRO_BENCH_SNAPSHOT_OUT``).  Set
+``REPRO_BENCH_SMOKE=1`` for a quick slice (used by CI's
+``snapshot-smoke`` job; the speedup floor is only asserted at full
+size, where the warmup genuinely dominates).
+
+Run it as ``pytest benchmarks/bench_snapshot_fork.py -s`` or
+``python benchmarks/bench_snapshot_fork.py``.
+"""
+
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.snapshot import demo_family, fork_family, run_family_cold
+from repro.system.grid import ALL_PROTOCOLS, protocol_grid
+
+N_PROCS = 8
+SEED = 7
+#: Warmup 160x the tail: the regime forking exists for — long shared
+#: prefix, short divergent suffixes.
+FULL_SHAPE = dict(warmup_ops=6400, tail_ops=40, n_tails=4)
+SMOKE_SHAPE = dict(warmup_ops=160, tail_ops=20, n_tails=2)
+
+#: Required fork-vs-cold advantage at full size (the subsystem's
+#: headline acceptance number).
+MIN_SPEEDUP = 3.0
+
+#: Paired (cold, fork) samples per grid point; the best per-round
+#: ratio is reported.  Pairing the two paths inside one round cancels
+#: the slow CPU-speed drift of shared hardware, which separate
+#: measurement phases pick up as a spurious ratio shift.
+ROUNDS = 2
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _signature(result) -> tuple:
+    return (
+        result.events_fired,
+        result.runtime_ns,
+        result.total_ops,
+        result.total_misses,
+        tuple(sorted(result.counters.items())),
+        tuple(sorted(result.traffic_bytes.items())),
+        tuple(result.per_proc_finish_ns),
+    )
+
+
+def measure() -> dict:
+    shape = SMOKE_SHAPE if _smoke() else FULL_SHAPE
+    grid = list(protocol_grid(ALL_PROTOCOLS))
+    if _smoke():
+        grid = grid[:3]
+    results = {}
+    for protocol, interconnect in grid:
+        label = f"{protocol}/{interconnect}"
+        config = SystemConfig(
+            protocol=protocol,
+            interconnect=interconnect,
+            n_procs=N_PROCS,
+            seed=SEED,
+        )
+        family = demo_family(**shape)
+        rounds = 1 if _smoke() else ROUNDS
+
+        wall_cold = wall_fork = speedup = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            cold = run_family_cold(config, family)
+            round_cold = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            forked, stats = fork_family(config, family)
+            round_fork = time.perf_counter() - t0
+
+            round_speedup = round_cold / round_fork
+            if speedup is None or round_speedup > speedup:
+                wall_cold, wall_fork = round_cold, round_fork
+                speedup = round_speedup
+
+        for name in cold:
+            assert _signature(forked[name]) == _signature(cold[name]), (
+                f"{label}/{name}: fork diverged from cold replay"
+            )
+
+        # Events executed are deterministic (unlike wall time): every
+        # cold tail re-simulates the warmup; the fork path simulates it
+        # once and replays the rest from the snapshot.
+        warmup_events = stats["warmup_events"]
+        events_cold = sum(r.events_fired for r in cold.values())
+        events_fork = warmup_events + sum(
+            r.events_fired - warmup_events for r in forked.values()
+        )
+
+        results[label] = {
+            "n_procs": N_PROCS,
+            "warmup_ops": shape["warmup_ops"],
+            "tail_ops": shape["tail_ops"],
+            "tails": shape["n_tails"],
+            "warmup_events": warmup_events,
+            "snapshot_bytes": stats["snapshot_bytes"],
+            "events_cold": events_cold,
+            "events_fork": events_fork,
+            "events_speedup_x": round(events_cold / events_fork, 3),
+            "wall_s_cold": round(wall_cold, 4),
+            "wall_s_fork": round(wall_fork, 4),
+            "speedup_x": round(speedup, 3),
+        }
+    return results
+
+
+def write_report(results: dict) -> Path:
+    out = Path(
+        os.environ.get(
+            "REPRO_BENCH_SNAPSHOT_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_snapshot.json",
+        )
+    )
+    speedups = [row["speedup_x"] for row in results.values()]
+    report = {
+        "bench": "snapshot_fork",
+        "smoke": _smoke(),
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "min_speedup_x": min(speedups),
+        "mean_speedup_x": round(sum(speedups) / len(speedups), 3),
+        "configs": results,
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def _print_table(results: dict, out: Path) -> None:
+    print(f"Snapshot fork vs cold replay; report -> {out}")
+    width = max(len(label) for label in results)
+    for label, row in results.items():
+        print(
+            f"  {label:<{width}}  {row['warmup_events']:>9,} warmup ev  "
+            f"cold {row['wall_s_cold']:>7.3f}s  "
+            f"fork {row['wall_s_fork']:>7.3f}s  "
+            f"x{row['speedup_x']}  (events x{row['events_speedup_x']})"
+        )
+
+
+def bench_snapshot_fork(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    out = write_report(results)
+    print()
+    _print_table(results, out)
+    for label, row in results.items():
+        assert row["speedup_x"] > 1.0, f"{label}: forking did not pay"
+        if not _smoke():
+            assert row["speedup_x"] >= MIN_SPEEDUP, (
+                f"{label}: speedup {row['speedup_x']}x below the "
+                f"{MIN_SPEEDUP}x acceptance floor"
+            )
+            # Events executed are deterministic, so this floor is
+            # immune to wall-clock noise: 4 tails with a 160x
+            # warmup:tail ratio must approach a 4x event reduction.
+            assert row["events_speedup_x"] >= MIN_SPEEDUP, (
+                f"{label}: events ratio {row['events_speedup_x']}x "
+                f"below the {MIN_SPEEDUP}x floor"
+            )
+
+
+if __name__ == "__main__":
+    results = measure()
+    _print_table(results, write_report(results))

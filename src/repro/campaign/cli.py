@@ -8,6 +8,8 @@
     python -m repro.campaign status --spec figures --watch
     python -m repro.campaign report --spec figures
     python -m repro.campaign report --spec predict --format csv
+    python -m repro.campaign compact --spec figures
+    python -m repro.campaign compact --spec figures --prune-stale
 
 ``report`` renders figure-style text by default; ``--format
 csv|markdown|json`` exports one row per scenario instead (simulate:
@@ -57,7 +59,7 @@ def resolve_spec(name: str, args) -> CampaignSpec:
         )
     elif name == "differential":
         kwargs = dict(seeds=args.seeds, seed_base=args.seed_base)
-    elif name == "workloads":
+    elif name in ("workloads", "snapshots"):
         kwargs = dict(smoke=args.smoke)
     return builder(**kwargs)
 
@@ -146,6 +148,31 @@ def cmd_run(args) -> int:
         )
         return EXIT_NOT_CACHED
     return 1 if violations else 0
+
+
+def cmd_compact(args) -> int:
+    """Expose the store's atomic compaction as a subcommand.
+
+    Folds pending worker shards into canonical sorted shard files and
+    drops duplicate/corrupt lines; ``--prune-stale`` additionally drops
+    records whose code fingerprint no longer matches the current
+    sources.  Compaction is atomic (tmp + rename per shard), so a
+    concurrent reader never sees a torn store.
+    """
+    spec = resolve_spec(args.spec, args)
+    store = resolve_store(spec, args)
+    before = store.stats()
+    stale = len(store.stale_records())
+    store.compact(prune_stale=args.prune_stale)
+    after = store.stats()
+    pruned = f", {stale} stale records pruned" if args.prune_stale else ""
+    print(
+        f"compacted {store.root}: {before['records']} -> "
+        f"{after['records']} records, {before['pending_files']} pending "
+        f"files folded into {after['shard_files']} shards, "
+        f"{before['corrupt_lines']} torn lines dropped{pruned}"
+    )
+    return 0
 
 
 def cmd_status(args) -> int:
@@ -250,6 +277,8 @@ def cmd_report(args) -> int:
             text = _lineage_report(cases, store)
         else:
             text = _explore_report(cases, store)
+    elif spec.kind == "fork_family":
+        text = _fork_family_report(cases, store)
     else:
         text = _differential_report(cases, store)
     print(text)
@@ -422,6 +451,33 @@ def _lineage_report(cases, store: CampaignStore) -> str:
     return "\n".join(lines)
 
 
+def _fork_family_report(cases, store: CampaignStore) -> str:
+    """Per family/config: shared warmup cost and per-tail increments."""
+    lines = [
+        f"{'family':<10} {'protocol':<10} {'ic':<6} {'tail':<10} "
+        f"{'warmup ev':>9} {'tail ev':>8} {'runtime_ns':>11}"
+    ]
+    for case in cases:
+        result = store.get(case.key)["result"]
+        params = case.params
+        config = params.get("config", {})
+        warmup_events = result.get("warmup_events", 0)
+        for tail, payload in sorted(result.get("tails", {}).items()):
+            lines.append(
+                f"{result.get('family', ''):<10} "
+                f"{config.get('protocol', ''):<10} "
+                f"{config.get('interconnect', ''):<6} {tail:<10} "
+                f"{warmup_events:>9} "
+                f"{payload['events_fired'] - warmup_events:>8} "
+                f"{payload['runtime_ns']:>11.1f}"
+            )
+    lines.append(
+        f"{len(cases)} families (tail ev = events beyond the shared "
+        "warmup checkpoint)"
+    )
+    return "\n".join(lines)
+
+
 def _report_table(kind: str, cases, store: CampaignStore):
     """``(headers, rows)`` of a campaign's results, for csv/markdown."""
     rows = []
@@ -562,7 +618,8 @@ def _parse_args(argv):
         description="Sharded, resumable, content-addressed scenario sweeps.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name, fn in (("run", cmd_run), ("status", cmd_status), ("report", cmd_report)):
+    for name, fn in (("run", cmd_run), ("status", cmd_status),
+                     ("report", cmd_report), ("compact", cmd_compact)):
         cmd = sub.add_parser(name)
         cmd.set_defaults(fn=fn)
         cmd.add_argument("--spec", required=True,
@@ -599,6 +656,10 @@ def _parse_args(argv):
                              choices=("text", "csv", "markdown", "json"),
                              help="text renders the figures; csv/markdown/"
                                   "json export one row per scenario")
+        if name == "compact":
+            cmd.add_argument("--prune-stale", action="store_true",
+                             help="also drop records recorded under a "
+                                  "different code fingerprint")
     return parser.parse_args(argv)
 
 

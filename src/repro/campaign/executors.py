@@ -25,6 +25,17 @@ Registered kinds:
 ``differential``
     One cross-protocol conformance comparison.  Params:
     ``run_differential`` keyword arguments.  Result: its report dict.
+``fork_family``
+    One warmup-once/fork-many scenario family
+    (:mod:`repro.snapshot.fork`).  Params: ``{"family":
+    ProgramFamily.to_dict(), "config": {SystemConfig kwargs}}``.
+    Result: per-tail :class:`SimulationResult` payloads plus the
+    deterministic fork stats (warmup event count, tail count) — but
+    *not* the checkpoint hit/miss flag or snapshot byte size, which
+    depend on store state and pickle details rather than on the params,
+    and would break the executor-purity contract.  Set
+    ``REPRO_CHECKPOINT_STORE`` to give workers a shared on-disk
+    checkpoint store; unset, every family re-runs its own warmup.
 
 Protocol imports happen inside the executors so this module stays cheap
 to import from worker bootstrap.
@@ -108,11 +119,33 @@ def _run_differential(params: dict) -> dict:
     return run_differential(**params)
 
 
+def _run_fork_family(params: dict) -> dict:
+    from repro.config import SystemConfig
+    from repro.snapshot.fork import ProgramFamily, fork_family
+    from repro.snapshot.store import store_from_env
+
+    config = SystemConfig(**params["config"])
+    family = ProgramFamily.from_dict(params["family"])
+    results, stats = fork_family(config, family, store=store_from_env())
+    return {
+        "family": family.name,
+        "tails": {
+            name: result_to_payload(result)
+            for name, result in results.items()
+        },
+        # Deterministic subset of the fork stats only (see module doc).
+        "warmup_events": stats["warmup_events"],
+        "warmup_t": stats["warmup_t"],
+        "n_tails": stats["tails"],
+    }
+
+
 #: kind -> executor.  Tests may register additional kinds.
 EXECUTORS = {
     "simulate": _run_simulate,
     "explore": _run_explore,
     "differential": _run_differential,
+    "fork_family": _run_fork_family,
 }
 
 

@@ -431,6 +431,64 @@ def workloads_spec(smoke: bool = False) -> CampaignSpec:
     )
 
 
+def family_case_params(
+    family,
+    protocol: str,
+    interconnect: str,
+    bandwidth: float | None = 3.2,
+    n_procs: int = 8,
+    seed: int = 0,
+    **config_overrides,
+) -> dict:
+    """The ``fork_family``-kind params document for one scenario family."""
+    config = dict(
+        protocol=protocol,
+        interconnect=interconnect,
+        n_procs=n_procs,
+        seed=seed,
+        link_bandwidth_bytes_per_ns=bandwidth,
+    )
+    config.update(config_overrides)
+    return {"family": family.to_dict(), "config": config}
+
+
+def snapshots_spec(smoke: bool = False) -> CampaignSpec:
+    """Warmup-once scenario families across the full protocol grid.
+
+    Each case runs the canonical warmup-dominated demo family
+    (:func:`repro.snapshot.fork.demo_family`) with every tail forked
+    from the warmup checkpoint; results are bit-identical to cold
+    replays (the snapshot determinism goldens pin this), so records are
+    content-addressed like any other kind.  ``smoke=True`` is the CI
+    slice: a 3-tail family over five default-interconnect pairs, run
+    twice with ``--expect-cached`` and a shared
+    ``REPRO_CHECKPOINT_STORE`` to prove checkpoint reuse across
+    processes.
+    """
+    from repro.snapshot.fork import demo_family
+    from repro.system.grid import ALL_PROTOCOLS, interconnect_for, protocol_grid
+
+    if smoke:
+        family = demo_family(warmup_ops=160, tail_ops=30, n_tails=3)
+        grid = [
+            family_case_params(family, protocol, interconnect_for(protocol))
+            for protocol in ("tokenb", "snooping", "directory",
+                             "tokend", "tokenm")
+        ]
+    else:
+        family = demo_family(warmup_ops=240, tail_ops=40, n_tails=4)
+        grid = [
+            family_case_params(family, protocol, interconnect)
+            for protocol, interconnect in protocol_grid(ALL_PROTOCOLS)
+        ]
+    return CampaignSpec(
+        name="snapshots",
+        kind="fork_family",
+        grid=grid,
+        default_store=_default_store("campaigns/snapshots"),
+    )
+
+
 def figures_spec() -> CampaignSpec:
     """The union of every figure-suite campaign (the bench prewarm set)."""
     parts = [
@@ -644,6 +702,7 @@ SPEC_BUILDERS = {
     "differential": differential_spec,
     "smoke": smoke_spec,
     "workloads": workloads_spec,
+    "snapshots": snapshots_spec,
 }
 
 

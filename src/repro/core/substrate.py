@@ -88,6 +88,16 @@ class TokenNodeBase(ProtocolNode):
         # of the per-message handlers.
         self._snoop_delay = config.l2_latency_ns
         self._home_delay = config.controller_latency_ns + config.dram_latency_ns
+        self._build_dispatch()
+
+    def _build_dispatch(self) -> None:
+        """(Re)build the hoisted message dispatch table.
+
+        Split out of ``__init__`` because the table is a pure function
+        of other node state: the snapshot layer drops it before
+        pickling (the transient fast path is a closure) and calls this
+        again on restore (``__setstate__``).
+        """
         transient = self._handle_transient
         if type(self)._handle_transient is TokenNodeBase._handle_transient:
             # No subclass override: bind the transient fast path as a
@@ -95,13 +105,13 @@ class TokenNodeBase(ProtocolNode):
             # frequent message, and this skips every attribute load.
             def transient(
                 msg,
-                post=sim.post,
+                post=self.sim.post,
                 snoop_delay=self._snoop_delay,
                 home_delay=self._home_delay,
                 cache_respond=self._cache_respond,
                 memory_respond=self._memory_respond,
                 home_mod=self._home_mod,
-                me=node_id,
+                me=self.node_id,
             ):
                 post(snoop_delay, cache_respond, msg)
                 if msg.block % home_mod == me:
@@ -116,6 +126,17 @@ class TokenNodeBase(ProtocolNode):
             "PDEACT": self._handle_deactivation,
         }
         self._dispatch_get = self._dispatch.get
+
+    def __getstate__(self) -> dict:
+        """Pickle without the dispatch table (it holds a closure)."""
+        state = self.__dict__.copy()
+        state.pop("_dispatch", None)
+        state.pop("_dispatch_get", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_dispatch()
 
     def _rebind_dispatch(self) -> None:
         """Re-resolve the dispatch table's bound methods.

@@ -18,6 +18,7 @@ node's lose-block hook.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Callable, Iterator
 
 from repro.cache.cache import SetAssociativeCache
@@ -92,6 +93,24 @@ class Sequencer:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
+        self.sim.post(0.0, self._pump)
+
+    def feed(self, stream: Iterator[MemoryOp]) -> None:
+        """Append a new operation stream to a drained sequencer.
+
+        The fork path runs a warmup phase to completion, snapshots, then
+        feeds each divergent tail into the restored system.  Feeding
+        re-opens the issue engine (clears ``finish_time`` and
+        ``_done_issuing``) and schedules a pump at the current time, so
+        tail dispatch follows the exact same event path a cold run's
+        ``start()`` would take at t=0.
+        """
+        assert self._current_op is None and self.outstanding == 0, (
+            "feed() requires a drained sequencer"
+        )
+        self._stream = iter(stream)
+        self._done_issuing = False
+        self.finish_time = None
         self.sim.post(0.0, self._pump)
 
     def _fetch_next(self) -> None:
@@ -169,10 +188,15 @@ class Sequencer:
             self._complete(op, block, version, issue_version, started)
             return
         self.misses += 1
+        # A partial (not a closure) so an in-flight miss completion can
+        # be pickled by the snapshot layer along with its MSHR entry.
         self.node.start_miss(
             block,
             op.is_write,
-            lambda v: self._miss_complete(op, block, v, issue_version, started),
+            functools.partial(
+                self._miss_complete, op, block,
+                issue_version=issue_version, started=started,
+            ),
         )
 
     def _miss_complete(

@@ -1,0 +1,39 @@
+"""Snapshot/fork subsystem: copy-on-write scenario prefixes.
+
+Public surface:
+
+* :class:`SimulatorSnapshot` / :class:`SnapshotUnsupportedError` —
+  capture and bit-identical restore of a built system
+  (:mod:`repro.snapshot.capture`);
+* :class:`ReplayableStream` — picklable operation streams
+  (:mod:`repro.snapshot.stream`);
+* :class:`ProgramFamily`, :func:`fork_family`, :func:`fork_program`,
+  :func:`run_family_cold`, :func:`demo_family` — warmup-once fork
+  execution (:mod:`repro.snapshot.fork`);
+* :class:`CheckpointStore`, :func:`store_from_env` — content-addressed
+  on-disk checkpoints (:mod:`repro.snapshot.store`).
+"""
+
+from repro.snapshot.capture import SimulatorSnapshot, SnapshotUnsupportedError
+from repro.snapshot.fork import (
+    ProgramFamily,
+    demo_family,
+    fork_family,
+    fork_program,
+    run_family_cold,
+)
+from repro.snapshot.store import CheckpointStore, store_from_env
+from repro.snapshot.stream import ReplayableStream
+
+__all__ = [
+    "CheckpointStore",
+    "ProgramFamily",
+    "ReplayableStream",
+    "SimulatorSnapshot",
+    "SnapshotUnsupportedError",
+    "demo_family",
+    "fork_family",
+    "fork_program",
+    "run_family_cold",
+    "store_from_env",
+]

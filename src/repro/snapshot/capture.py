@@ -1,0 +1,243 @@
+"""Simulation state capture/restore: the snapshot substrate.
+
+A :class:`SimulatorSnapshot` freezes a built :class:`~repro.system.builder.System`
+mid-run — kernel event heap and clock, RNG stream states, cache and MSHR
+contents, protocol/controller state, token ledger, link queues and
+in-flight messages, statistics counters — into one pickle blob whose
+:meth:`~SimulatorSnapshot.restore` reproduces a *bit-identical
+continuation*: running the restored system to completion produces
+exactly the events, counters, and traffic an uninterrupted run would
+have (pinned by the extended determinism goldens in
+``tests/snapshot/``).
+
+Fidelity comes from serializing the whole object graph in one pass:
+every scheduled event's callback is a bound method of some system
+object, so pickling ``(system, extras)`` as a single document preserves
+the aliasing between the heap, the nodes, the interconnect, and any
+shared statistics dicts.  That works because the simulator's hot path
+is deliberately closure-free — the one historical exception, the
+sequencer's miss-completion continuation, is a ``functools.partial``
+for exactly this reason.
+
+What cannot be captured is *refused up front* with
+:class:`SnapshotUnsupportedError` naming the offending overlay.  The
+refusal boundary is the set of overlays that install locally-defined
+functions or dynamically-created classes:
+
+* the token-lineage recorder (``repro.lineage``) — dynamic recorder
+  subclasses plus network-handler closures;
+* timeline tracing (``repro.observe``) — dynamically subclassed traced
+  classes;
+* perturbation drop/dup wrappers and forced-escalation wrappers
+  (``repro.testing.perturb``) — per-handler closures (plain kernel and
+  link *jitter* is fully supported: its hooks are bound RNG methods);
+* fault-plan message corruption (``repro.faults``) — a handler closure
+  (link flaps, degrades, and node pauses are supported: their state
+  lives in module-level classes);
+* closure-based mutants (``repro.testing.mutants``) — instance-method
+  patches capturing enclosing state (the module-function mutants in
+  ``PICKLABLE_MUTANTS`` are supported).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import pickle
+import sys
+import types
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend the cycle collector across a bulk (de)serialization.
+
+    Pickling either direction allocates the whole object graph in one
+    burst; letting the generational collector trigger mid-burst only
+    adds scan passes over objects that are all still live.  Same idiom
+    as ``System.drain``.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+class SnapshotUnsupportedError(RuntimeError):
+    """The system carries state the snapshot layer cannot serialize.
+
+    Raised *before* any pickling is attempted when a known-unpicklable
+    overlay is detected, and as a wrapper if pickling itself fails on
+    something the pre-checks did not anticipate.  The message names the
+    offending overlay so a scenario author knows which arm to drop.
+    """
+
+
+def _is_local_function(obj) -> bool:
+    """A function defined inside another function (closure or lambda).
+
+    These pickle by qualified name, which locals do not have — the
+    telltale ``<locals>`` marker (or ``<lambda>`` name) means the object
+    cannot survive a round-trip.  Bound methods, partials of bound
+    methods, and module-level functions all pass.
+    """
+    return isinstance(obj, types.FunctionType) and (
+        "<locals>" in obj.__qualname__ or obj.__name__ == "<lambda>"
+    )
+
+
+def _resolves_to_itself(cls: type) -> bool:
+    """Whether ``cls`` is importable by its qualified name.
+
+    Dynamically created classes (``type(...)`` — the lineage/observe
+    ``__class__``-swap caches) are not attributes of their module, so
+    pickle cannot reference them.
+    """
+    obj = sys.modules.get(cls.__module__)
+    for part in cls.__qualname__.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is cls
+
+
+def _unsupported_reasons(system) -> list[str]:
+    """Every reason this system cannot be snapshotted (empty = fine)."""
+    reasons: list[str] = []
+    if getattr(system, "lineage", None) is not None:
+        reasons.append(
+            "token-lineage recorder is armed (dynamic recorder classes "
+            "and handler closures do not pickle)"
+        )
+    if getattr(system, "observe", None) is not None:
+        reasons.append(
+            "timeline tracing is armed (dynamically subclassed traced "
+            "classes do not pickle)"
+        )
+
+    for label, obj in (
+        ("simulator", system.sim),
+        ("interconnect", system.network),
+    ):
+        if not _resolves_to_itself(type(obj)):
+            reasons.append(
+                f"{label} class {type(obj).__name__} is dynamically "
+                "created and cannot be pickled by reference"
+            )
+
+    handlers = system.network._handlers
+    values = handlers.values() if isinstance(handlers, dict) else handlers
+    for handler in values:
+        if _is_local_function(handler):
+            reasons.append(
+                "a network delivery handler is a locally-defined "
+                "function (perturbation drop/dup wrappers, fault-plan "
+                "corruption, or a closure-based mutant)"
+            )
+            break
+
+    for node in system.nodes:
+        locals_found = sorted(
+            attr
+            for attr, value in vars(node).items()
+            if _is_local_function(value)
+        )
+        if locals_found:
+            reasons.append(
+                f"node {node.node_id} carries locally-defined function "
+                f"attribute(s) {', '.join(locals_found)} (forced-"
+                "escalation perturbation or a closure-based mutant)"
+            )
+            break
+
+    for sequencer in system.sequencers:
+        if isinstance(sequencer._stream, types.GeneratorType):
+            reasons.append(
+                f"processor {sequencer.proc_id}'s operation stream is a "
+                "generator — generators do not pickle; feed a "
+                "ReplayableStream (repro.snapshot.stream) or a "
+                "materialized list instead"
+            )
+            break
+    return reasons
+
+
+class SimulatorSnapshot:
+    """One frozen simulation state, restorable any number of times.
+
+    ``blob`` is the pickled ``(system, extras)`` pair; ``meta`` is a
+    small JSON-safe summary (capture time, cumulative events, per-proc
+    progress) readable without unpickling — the checkpoint store and the
+    shrinker's checkpoint ledger index on it.
+    """
+
+    FORMAT = "repro.snapshot/v1"
+
+    __slots__ = ("blob", "meta")
+
+    def __init__(self, blob: bytes, meta: dict):
+        self.blob = blob
+        self.meta = meta
+
+    @classmethod
+    def capture(cls, system, extras=None) -> "SimulatorSnapshot":
+        """Freeze ``system`` (plus optional picklable ``extras``).
+
+        The system is left untouched and keeps running normally; capture
+        may happen at any event-loop quiescence point (between
+        :meth:`System.drain` strides, or at warmup completion).
+
+        Raises :class:`SnapshotUnsupportedError` when the system carries
+        an overlay the serializer cannot round-trip.
+        """
+        reasons = _unsupported_reasons(system)
+        if reasons:
+            raise SnapshotUnsupportedError(
+                "system cannot be snapshotted: " + "; ".join(reasons)
+            )
+        try:
+            with _gc_paused():
+                blob = pickle.dumps(
+                    (system, extras), protocol=pickle.HIGHEST_PROTOCOL
+                )
+        except Exception as exc:  # noqa: BLE001 — rewrap with context
+            raise SnapshotUnsupportedError(
+                f"simulation state failed to pickle: {exc}"
+            ) from exc
+        meta = {
+            "format": cls.FORMAT,
+            "t": system.sim.now,
+            "events_fired": system.sim.events_fired,
+            "protocol": system.config.protocol,
+            "interconnect": system.config.interconnect,
+            "n_procs": system.config.n_procs,
+            "workload": system.workload_name,
+            "issued_ops": [s.issued_ops for s in system.sequencers],
+            "done": [s.done for s in system.sequencers],
+        }
+        return cls(blob, meta)
+
+    def restore(self, with_extras: bool = False):
+        """A fresh, independent system continuing from the capture point.
+
+        Each call deserializes a new object graph, so restored copies
+        never share mutable state — fork N tails from one snapshot and
+        they diverge independently.
+        """
+        with _gc_paused():
+            system, extras = pickle.loads(self.blob)
+        return (system, extras) if with_extras else system
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.blob)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatorSnapshot(t={self.meta['t']}, "
+            f"events={self.meta['events_fired']}, "
+            f"{self.size_bytes} bytes)"
+        )

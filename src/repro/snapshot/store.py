@@ -1,0 +1,108 @@
+"""Content-addressed checkpoint store: warmup snapshots reused on disk.
+
+The fork path's economics only pay off if the warmup prefix is executed
+*once per (scenario parameters, code version)* — across processes and
+campaign reruns, not just within one.  :class:`CheckpointStore` gives
+snapshots the same identity discipline the campaign result store gives
+results: the key is a SHA-256 over the canonical JSON of
+
+* ``kind`` (a format/namespace tag),
+* the full :class:`SystemConfig` document,
+* the warmup :class:`WorkloadProgram` document (the *phase boundary* —
+  two families sharing a warmup share checkpoints, which is the point),
+* :func:`~repro.campaign.spec.code_fingerprint` — any source change
+  invalidates every checkpoint, because snapshots embed pickled
+  instances of the simulator's classes and replaying them against
+  different code would be silently wrong.
+
+Writes are atomic (tmp + :func:`os.replace`); reads treat missing,
+corrupt, or wrong-format files as misses, so a torn write or a stale
+format never poisons a run — the warmup simply re-executes and the
+checkpoint is rewritten.  ``REPRO_CHECKPOINT_STORE`` points campaign
+workers (which cannot share in-process state) at a common directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from repro.campaign.spec import canonical_json, code_fingerprint
+from repro.snapshot.capture import SimulatorSnapshot
+
+
+class CheckpointStore:
+    """A directory of content-addressed ``.snap`` files."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def key(self, config, warmup, fingerprint: str | None = None) -> str:
+        """Content address of ``warmup`` run under ``config``."""
+        document = {
+            "kind": SimulatorSnapshot.FORMAT,
+            "fingerprint": (
+                fingerprint if fingerprint is not None else code_fingerprint()
+            ),
+            "config": dataclasses.asdict(config),
+            "warmup": warmup.to_dict(),
+        }
+        return hashlib.sha256(canonical_json(document).encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.snap"
+
+    def get(self, key: str) -> SimulatorSnapshot | None:
+        """The stored snapshot, or ``None`` on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            return None
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 3
+            or payload[0] != SimulatorSnapshot.FORMAT
+        ):
+            return None
+        _format, meta, blob = payload
+        return SimulatorSnapshot(blob, meta)
+
+    def put(self, key: str, snapshot: SimulatorSnapshot) -> Path:
+        """Atomically publish ``snapshot`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_bytes(
+            pickle.dumps(
+                (SimulatorSnapshot.FORMAT, snapshot.meta, snapshot.blob),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.snap")))
+
+    def stats(self) -> dict:
+        """Checkpoint count and on-disk footprint."""
+        paths = list(self.root.glob("*.snap"))
+        return {
+            "checkpoints": len(paths),
+            "bytes": sum(path.stat().st_size for path in paths),
+        }
+
+
+def store_from_env() -> CheckpointStore | None:
+    """The store named by ``REPRO_CHECKPOINT_STORE`` (``None`` = off)."""
+    configured = os.environ.get("REPRO_CHECKPOINT_STORE")
+    if not configured or configured == "none":
+        return None
+    return CheckpointStore(configured)

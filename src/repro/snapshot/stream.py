@@ -1,0 +1,62 @@
+"""Picklable operation streams for snapshot-able systems.
+
+Sequencers consume plain iterators.  List iterators pickle (position
+included), but *generators* — what :meth:`WorkloadProgram.streams`
+hands out for memory-bounded streaming — do not.
+:class:`ReplayableStream` closes the gap: it wraps a zero-argument
+*factory* that rebuilds the underlying iterator (typically a
+``functools.partial`` over :meth:`WorkloadProgram.iter_stream`, pure in
+``(program, proc, seed)``), counts every op it yields, and on unpickle
+re-creates the iterator and fast-forwards past the consumed prefix.
+
+That makes the stream's pickled form tiny — a program reference and an
+integer — while keeping the restored stream bit-identical to the live
+one: determinism of the workload generators guarantees the regenerated
+tail matches what the original would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.processor.sequencer import MemoryOp
+
+
+class ReplayableStream:
+    """An iterator that can be pickled mid-consumption.
+
+    ``factory`` must be a picklable zero-argument callable returning a
+    *fresh* iterator over the same operation sequence every time it is
+    called — the replay soundness condition.  All workload generation in
+    this repo is a pure function of ``(spec, proc, seed)``, so a partial
+    over any generator entry point qualifies.
+    """
+
+    __slots__ = ("_factory", "_consumed", "_it")
+
+    def __init__(
+        self, factory: Callable[[], Iterator[MemoryOp]], consumed: int = 0
+    ) -> None:
+        self._factory = factory
+        self._consumed = consumed
+        self._it = iter(factory())
+        # On unpickle (consumed > 0) regenerate and skip the prefix the
+        # original already delivered; a fresh stream skips nothing.
+        for _ in range(consumed):
+            next(self._it)
+
+    def __iter__(self) -> "ReplayableStream":
+        return self
+
+    def __next__(self) -> MemoryOp:
+        op = next(self._it)
+        self._consumed += 1
+        return op
+
+    def __reduce__(self):
+        return (type(self), (self._factory, self._consumed))
+
+    @property
+    def consumed(self) -> int:
+        """Ops delivered so far (== regeneration fast-forward depth)."""
+        return self._consumed

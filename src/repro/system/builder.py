@@ -134,8 +134,22 @@ class System:
         self, max_events: int | None = None, audit_tokens: bool = True
     ) -> SimulationResult:
         """Run to completion; raises on deadlock or invariant violation."""
+        self.start()
+        self.drain(max_events=max_events)
+        return self.finish(audit_tokens=audit_tokens)
+
+    # The run() pipeline is exposed as three stages so the snapshot/fork
+    # layer (repro.snapshot) can pause between them: warmup phases drain
+    # to a quiescent point, the system is snapshotted, and divergent
+    # tails are fed into restored copies before finish() seals each one.
+
+    def start(self) -> None:
+        """Schedule every sequencer's first pump at t=0."""
         for sequencer in self.sequencers:
             sequencer.start()
+
+    def drain(self, max_events: int | None = None) -> None:
+        """Run the event loop until empty (or the cumulative cap)."""
         # The event loop allocates heavily but creates no cycles on its
         # hot path; pausing the cyclic collector for the duration avoids
         # generational scans over the live heap (~5% wall time).
@@ -147,12 +161,19 @@ class System:
         finally:
             if gc_was_enabled:
                 gc.enable()
+
+    def check_complete(self) -> None:
+        """Raise :class:`DeadlockError` if any sequencer is stuck."""
         stuck = [s.proc_id for s in self.sequencers if not s.done]
         if stuck:
             raise DeadlockError(
                 f"event queue drained at t={self.sim.now} with processors "
                 f"{stuck} still incomplete (liveness violation)"
             )
+
+    def finish(self, audit_tokens: bool = True) -> SimulationResult:
+        """Seal a drained run: liveness check, token audit, result."""
+        self.check_complete()
         if audit_tokens and self.ledger is not None:
             # The audit retires quiesced blocks, so the count of blocks
             # it covered lives here rather than in ledger state.

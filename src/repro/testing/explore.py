@@ -258,13 +258,12 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
     return outcome
 
 
-def run_scenario_recorded(scenario: Scenario):
-    """Like :func:`run_scenario`, but also return the lineage recorder.
+def _armed_system(scenario: Scenario):
+    """Build the scenario's system with every overlay installed.
 
-    The recorder is ``None`` unless ``scenario.lineage`` is set.  Used
-    by the query CLI's ``record`` subcommand, which needs the custody
-    log itself (to write a :class:`~repro.lineage.LineageStore`), not
-    just the aggregated outcome.
+    Returns ``(system, expected_ops, recorder, perturber, injector,
+    trace)`` ready for :meth:`System.run` (or a stepped drain — the
+    shrinker's checkpointed runner snapshots between strides).
     """
     if scenario.workload not in EXPLORER_WORKLOADS:
         raise ValueError(f"unknown workload {scenario.workload!r}")
@@ -300,8 +299,29 @@ def run_scenario_recorded(scenario: Scenario):
                 scenario.faults if scenario.faults.any_active() else None
             ),
         )
+    return system, expected_ops, recorder, perturber, injector, trace
+
+
+def _finish_scenario(
+    scenario: Scenario,
+    system,
+    expected_ops: int,
+    recorder,
+    perturber,
+    injector,
+    trace,
+    run,
+):
+    """Execute ``run()`` and fold oracles + stats into an outcome.
+
+    ``run`` is a zero-argument callable returning the
+    :class:`SimulationResult` — ``system.run(...)`` on the straight
+    path, or a restore-and-continue closure on the shrinker's
+    checkpointed path.  Shared so both paths judge a scenario with
+    byte-identical oracle and accounting logic.
+    """
     try:
-        result = system.run(max_events=scenario.max_events)
+        result = run()
         _post_run_oracles(system, result, expected_ops)
         _recovery_oracles(system, injector)
         if recorder is not None:
@@ -338,6 +358,23 @@ def run_scenario_recorded(scenario: Scenario):
         lineage_stats=recorder.stats() if recorder is not None else {},
         telemetry=trace.summary() if trace is not None else {},
     ), recorder
+
+
+def run_scenario_recorded(scenario: Scenario):
+    """Like :func:`run_scenario`, but also return the lineage recorder.
+
+    The recorder is ``None`` unless ``scenario.lineage`` is set.  Used
+    by the query CLI's ``record`` subcommand, which needs the custody
+    log itself (to write a :class:`~repro.lineage.LineageStore`), not
+    just the aggregated outcome.
+    """
+    system, expected_ops, recorder, perturber, injector, trace = (
+        _armed_system(scenario)
+    )
+    return _finish_scenario(
+        scenario, system, expected_ops, recorder, perturber, injector,
+        trace, run=lambda: system.run(max_events=scenario.max_events),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -715,6 +752,107 @@ def explore_campaign(
 
 
 # ----------------------------------------------------------------------
+# Phased scenario families (warmup-fork sweep)
+# ----------------------------------------------------------------------
+
+
+def explore_families(
+    seeds,
+    protocols=ALL_PROTOCOLS,
+    smoke: bool = False,
+    checkpoint_dir=None,
+    progress=None,
+) -> dict:
+    """Sweep phased scenario families via warmup-fork.
+
+    For every (seed, protocol/topology) grid point the canonical
+    warmup-dominated family (:func:`repro.snapshot.fork.demo_family`)
+    runs with its warmup executed once and every divergent tail forked
+    from the snapshot (:func:`repro.snapshot.fork.fork_family`); each
+    tail result then faces the explorer's liveness and drainage oracles.
+    ``checkpoint_dir`` names an on-disk
+    :class:`~repro.snapshot.store.CheckpointStore`, so repeated sweeps
+    skip even the one warmup per family.
+
+    The stock grid is snapshot-clean by construction (no perturbations,
+    no lineage/observe arms), so a
+    :class:`~repro.snapshot.SnapshotUnsupportedError` here is itself a
+    reportable violation, not an expected refusal.
+    """
+    from repro.snapshot import CheckpointStore, demo_family, fork_family
+
+    started = time.perf_counter()
+    if smoke:
+        family = demo_family(warmup_ops=80, tail_ops=16, n_tails=3)
+    else:
+        family = demo_family(warmup_ops=240, tail_ops=40, n_tails=4)
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+    grid = [
+        (seed, protocol, interconnect)
+        for seed in seeds
+        for protocol, interconnect in protocol_grid(protocols)
+    ]
+    violations = []
+    totals = {"families": 0, "tails": 0, "events_fired": 0,
+              "warmup_events": 0, "checkpoint_hits": 0}
+    expected_ops_per_tail = {
+        name: (family.warmup.ops_per_proc + tail.ops_per_proc)
+        for name, tail in family.tails.items()
+    }
+    for index, (seed, protocol, interconnect) in enumerate(grid):
+        config = SystemConfig(
+            protocol=protocol,
+            interconnect=interconnect,
+            n_procs=4,
+            seed=seed,
+            **BASE_GEOMETRY,
+        )
+        label = f"seed={seed} {protocol}/{interconnect} family={family.name}"
+        try:
+            results, stats = fork_family(config, family, store=store)
+        except (AssertionError, RuntimeError) as exc:
+            violations.append({
+                "scenario": label,
+                "violation_type": type(exc).__name__,
+                "violation_message": str(exc),
+            })
+            if progress is not None:
+                progress(index, label, False)
+            continue
+        totals["families"] += 1
+        totals["tails"] += len(results)
+        totals["warmup_events"] += stats["warmup_events"]
+        totals["checkpoint_hits"] += 1 if stats["checkpoint_hit"] else 0
+        ok = True
+        for name, result in results.items():
+            totals["events_fired"] += result.events_fired
+            expected = expected_ops_per_tail[name] * config.n_procs
+            if result.total_ops != expected:
+                ok = False
+                violations.append({
+                    "scenario": f"{label} tail={name}",
+                    "violation_type": "OracleError",
+                    "violation_message": (
+                        f"liveness: {result.total_ops} of {expected} "
+                        "ops completed"
+                    ),
+                })
+        if progress is not None:
+            progress(index, label, ok)
+    return {
+        "grid_points": len(grid),
+        "family": family.name,
+        "tails_per_family": len(family.tails),
+        "violations": violations,
+        "violation_count": len(violations),
+        "totals": totals,
+        "elapsed_s": round(time.perf_counter() - started, 3),
+    }
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 
@@ -742,6 +880,16 @@ def _parse_args(argv):
                              "flaps, degraded links, corruption drops, "
                              "node pause/resume — the loss classes only "
                              "where legal) with recovery oracles armed")
+    parser.add_argument("--families", action="store_true",
+                        help="sweep phased scenario families instead: one "
+                             "shared warmup per grid point, every "
+                             "divergent tail forked from its snapshot "
+                             "(repro.snapshot), liveness oracles on each "
+                             "tail")
+    parser.add_argument("--checkpoints", default=None, metavar="DIR",
+                        help="--families: content-addressed warmup "
+                             "checkpoint store directory (reused across "
+                             "sweeps)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes via the campaign runner "
                              "(default 1 = the deterministic serial loop; "
@@ -781,6 +929,31 @@ def main(argv=None) -> int:
     )
     protocols = tuple(p for p in args.protocols.split(",") if p)
     workloads = tuple(w for w in args.workloads.split(",") if w)
+    if args.families:
+        def family_progress(index, label, ok):
+            if args.quiet:
+                return
+            print(f"[{index + 1:>4}] {label}: "
+                  f"{'ok' if ok else 'VIOLATION'}", flush=True)
+
+        report = explore_families(
+            seeds, protocols, smoke=args.smoke,
+            checkpoint_dir=args.checkpoints, progress=family_progress,
+        )
+        totals = report["totals"]
+        print(
+            f"\n{totals['families']} families x "
+            f"{report['tails_per_family']} tails, "
+            f"{report['violation_count']} violations, "
+            f"{report['elapsed_s']}s "
+            f"({totals['checkpoint_hits']} checkpoint hits, "
+            f"{totals['warmup_events']:,} warmup events shared)"
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"report -> {args.out}")
+        return 1 if report["violation_count"] else 0
     if args.faults:
         scenarios = fault_scenario_grid(seeds, protocols)
     else:

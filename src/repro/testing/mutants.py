@@ -65,12 +65,28 @@ class Mutant:
     lineage: bool = False
 
 
+# The patched-in methods for the three simplest mutants are module-level
+# functions rather than lambdas so a mutated system stays picklable by
+# reference (the snapshot layer refuses local functions; see
+# repro.snapshot.capture and PICKLABLE_MUTANTS below).
+
+
+def _one_token_can_write(line) -> bool:
+    return line.tokens >= 1 and line.valid_data
+
+
+def _swallow_issue(entry) -> None:
+    return None
+
+
+def _swallow_put_ack(msg) -> None:
+    return None
+
+
 def _install_skip_token_collection(system) -> None:
     """Write permission with a single token instead of all T."""
     for node in system.nodes:
-        node._line_can_write = (
-            lambda line: line.tokens >= 1 and line.valid_data
-        )
+        node._line_can_write = _one_token_can_write
 
 
 def _install_stale_probe(system) -> None:
@@ -108,13 +124,21 @@ def _install_token_duplication(system) -> None:
 def _install_no_escalation(system) -> None:
     """Misses do nothing at all: no requests, no persistent fallback."""
     for node in system.nodes:
-        node._issue_transaction = lambda entry: None
+        node._issue_transaction = _swallow_issue
 
 
 def _install_writeback_leak(system) -> None:
     """PUT_ACKs are swallowed; writeback windows never close."""
     for node in system.nodes:
-        node._handle_put_ack = lambda msg: None
+        node._handle_put_ack = _swallow_put_ack
+
+
+#: Mutants whose installed patches are module-level functions — a system
+#: carrying one of these can be snapshotted; every other mutant installs
+#: closures or dynamic classes and is refused by the capture layer.
+PICKLABLE_MUTANTS = frozenset(
+    {"skip-token-collection", "no-escalation", "writeback-leak"}
+)
 
 
 def _recorder_subclass(recorder, **overrides):

@@ -112,6 +112,86 @@ def test_unknown_spec_is_rejected():
         main(["run", "--spec", "nope"])
 
 
+def test_compact_subcommand_folds_pending_shards(
+    mini_spec_file, tmp_path, capsys
+):
+    """``compact`` folds worker shards into canonical sorted shards and
+    reports the before/after record accounting."""
+    store = str(tmp_path / "store")
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    capsys.readouterr()
+
+    assert main(["compact", "--spec", mini_spec_file, "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "compacted" in out
+    assert "2 -> 2 records" in out
+
+    # Compaction preserves every record: the rerun is a full store hit.
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q", "--expect-cached"]) == 0
+    assert "100% store hit" in capsys.readouterr().out
+
+
+def test_compact_prune_stale_drops_foreign_fingerprints(
+    mini_spec_file, tmp_path, capsys, monkeypatch
+):
+    """--prune-stale evicts records whose code fingerprint no longer
+    matches — the disk-hygiene path for long-lived campaign stores."""
+    store = str(tmp_path / "store")
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "old-code")
+    assert main(["run", "--spec", mini_spec_file, "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "new-code")
+    capsys.readouterr()
+
+    assert main(["compact", "--spec", mini_spec_file, "--store", store,
+                 "--prune-stale"]) == 0
+    out = capsys.readouterr().out
+    assert "2 stale records pruned" in out
+    assert main(["status", "--spec", mini_spec_file, "--store", store]) == 0
+    assert "0 complete, 2 missing" in capsys.readouterr().out
+
+
+def test_fork_family_spec_runs_caches_and_reports(tmp_path, capsys, monkeypatch):
+    """The fork_family kind round-trips: run (executor purity), rerun
+    (--expect-cached), report (per-tail table), with the checkpoint
+    store wired through the environment."""
+    from repro.campaign.presets import family_case_params
+    from repro.snapshot import demo_family
+
+    family = demo_family(warmup_ops=24, tail_ops=6, n_tails=2)
+    grid = [
+        family_case_params(family, protocol, "torus", n_procs=2, seed=0)
+        for protocol in ("tokenb", "directory")
+    ]
+    spec = tmp_path / "families.json"
+    spec.write_text(json.dumps(
+        {"name": "families", "kind": "fork_family", "grid": grid}
+    ))
+    store = str(tmp_path / "store")
+    monkeypatch.setenv(
+        "REPRO_CHECKPOINT_STORE", str(tmp_path / "checkpoints")
+    )
+
+    assert main(["run", "--spec", str(spec), "--store", store,
+                 "--jobs", "1", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "2 executed, 0 cached" in out
+    # One warmup checkpoint per (config, warmup) grid point.
+    snaps = list((tmp_path / "checkpoints").glob("*.snap"))
+    assert len(snaps) == 2
+
+    assert main(["run", "--spec", str(spec), "--store", store,
+                 "--jobs", "1", "-q", "--expect-cached"]) == 0
+    assert "100% store hit" in capsys.readouterr().out
+
+    assert main(["report", "--spec", str(spec), "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "tail" in out and "warmup" in out
+    assert "tokenb" in out and "directory" in out
+
+
 def test_explore_spec_violations_exit_nonzero(tmp_path, capsys):
     """Recorded oracle violations surface through the run exit code."""
     grid = [{

@@ -1,0 +1,235 @@
+"""Snapshot behavior under every explorer overlay combination.
+
+Each overlay the adversarial harness can arm falls on one side of a
+documented boundary:
+
+* **supported** — jitter perturbations, link-flap / link-degrade /
+  node-pause fault plans, and the module-function mutants in
+  ``PICKLABLE_MUTANTS``: a mid-run capture/restore continues
+  bit-identically (the forked outcome equals the uninterrupted one,
+  violation or not);
+* **refused** — lineage, tracing, drop/dup/escalation perturbations,
+  corrupt faults, closure-based mutants, and generator op streams:
+  ``SimulatorSnapshot.capture`` raises :class:`SnapshotUnsupportedError`
+  naming the offending overlay, *before* any pickling is attempted.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.snapshot import SimulatorSnapshot, SnapshotUnsupportedError
+from repro.testing.explore import (
+    Scenario,
+    _armed_system,
+    _finish_scenario,
+    make_fault_scenario,
+    run_scenario,
+)
+from repro.testing.mutants import MUTANTS, PICKLABLE_MUTANTS
+from repro.testing.perturb import PerturbSpec
+
+
+def _forked_outcome(scenario: Scenario, pause_events: int):
+    """Run to ``pause_events``, capture, restore, finish the restored copy.
+
+    Returns the restored run's :class:`ScenarioOutcome`, judged by the
+    same oracle path as :func:`run_scenario`.
+    """
+    system, expected_ops, recorder, perturber, injector, trace = (
+        _armed_system(scenario)
+    )
+    assert recorder is None and trace is None
+    system.start()
+    while system.sim.events_fired < pause_events and system.sim.step():
+        pass
+    snapshot = SimulatorSnapshot.capture(
+        system, extras={"perturber": perturber, "injector": injector}
+    )
+    restored, extras = snapshot.restore(with_extras=True)
+
+    def run():
+        restored.drain(max_events=scenario.max_events)
+        return restored.finish()
+
+    outcome, _ = _finish_scenario(
+        scenario, restored, expected_ops, None,
+        extras["perturber"], extras["injector"], None, run,
+    )
+    return outcome
+
+
+def _assert_fork_transparent(scenario: Scenario) -> None:
+    cold = run_scenario(scenario)
+    forked = _forked_outcome(scenario, max(1, cold.events_fired // 2))
+    assert forked == cold
+
+
+# ----------------------------------------------------------------------
+# Supported overlays: capture mid-run, restored continuation identical
+# ----------------------------------------------------------------------
+
+
+def test_bare_scenario_forks_transparently():
+    _assert_fork_transparent(
+        Scenario(seed=1, protocol="tokenb", interconnect="torus",
+                 workload="false_sharing")
+    )
+
+
+def test_jitter_perturbations_fork_transparently():
+    """All three jitter hooks are bound RNG methods — fully picklable."""
+    _assert_fork_transparent(
+        Scenario(
+            seed=2, protocol="tokenm", interconnect="torus",
+            workload="arbiter_contention",
+            perturb=PerturbSpec(
+                kernel_jitter_ns=12.0, link_jitter_ns=6.0,
+                reorder_jitter_ns=10.0,
+            ),
+        )
+    )
+
+
+@pytest.mark.parametrize("fault_class", ["link_flap", "link_degrade",
+                                         "node_pause"])
+def test_loss_free_fault_plans_fork_transparently(fault_class):
+    """Flap/degrade/pause state lives in module-level classes and
+    scheduled bound-method events; snapshots carry it all."""
+    scenario = dataclasses.replace(
+        make_fault_scenario(
+            1, "tokenb", "torus", fault_class, workload="false_sharing"
+        ),
+        lineage=False, observe=False,
+    )
+    _assert_fork_transparent(scenario)
+
+
+@pytest.mark.parametrize("mutant", sorted(PICKLABLE_MUTANTS))
+def test_picklable_mutants_fork_transparently(mutant):
+    """Module-function mutants snapshot fine — the forked run reaches
+    the same violation (type, message, and event count) as the cold
+    run, which is what lets the shrinker resume them mid-stream."""
+    protocol, workload = {
+        "no-escalation": ("null-token", "false_sharing"),
+        "skip-token-collection": ("tokenb", "false_sharing"),
+        "writeback-leak": ("directory", "writeback_churn"),
+    }[mutant]
+    scenario = Scenario(
+        seed=4, protocol=protocol, interconnect="torus", workload=workload,
+        mutant=mutant,
+    )
+    cold = run_scenario(scenario)
+    assert not cold.ok
+    forked = _forked_outcome(scenario, max(1, cold.events_fired // 2))
+    assert forked == cold
+
+
+def test_jitter_plus_fault_combination_forks_transparently():
+    scenario = dataclasses.replace(
+        make_fault_scenario(
+            2, "tokend", "torus", "link_flap", workload="false_sharing"
+        ),
+        # Link-level jitter is illegal next to link faults (both swap the
+        # link's class); kernel jitter is the documented composition.
+        perturb=PerturbSpec(kernel_jitter_ns=12.0),
+        lineage=False, observe=False,
+    )
+    _assert_fork_transparent(scenario)
+
+
+# ----------------------------------------------------------------------
+# Refused overlays: capture names the offender, before pickling
+# ----------------------------------------------------------------------
+
+
+def _assert_refused(scenario: Scenario, needle: str) -> None:
+    system = _armed_system(scenario)[0]
+    with pytest.raises(SnapshotUnsupportedError, match=needle):
+        SimulatorSnapshot.capture(system)
+
+
+def test_lineage_recorder_is_refused():
+    _assert_refused(
+        Scenario(seed=0, protocol="tokenb", interconnect="torus",
+                 workload="false_sharing", lineage=True),
+        "lineage",
+    )
+
+
+def test_timeline_tracing_is_refused():
+    _assert_refused(
+        Scenario(seed=0, protocol="tokenb", interconnect="torus",
+                 workload="false_sharing", observe=True),
+        "tracing",
+    )
+
+
+@pytest.mark.parametrize("field", ["drop_request_prob", "dup_request_prob"])
+def test_loss_perturbations_are_refused(field):
+    _assert_refused(
+        Scenario(seed=0, protocol="tokenb", interconnect="torus",
+                 workload="false_sharing",
+                 perturb=PerturbSpec(**{field: 0.1})),
+        "delivery handler",
+    )
+
+
+def test_forced_escalation_is_refused():
+    _assert_refused(
+        Scenario(seed=0, protocol="tokenb", interconnect="torus",
+                 workload="false_sharing",
+                 perturb=PerturbSpec(force_escalation_prob=0.1)),
+        "locally-defined function",
+    )
+
+
+def test_corrupt_faults_are_refused():
+    scenario = dataclasses.replace(
+        make_fault_scenario(
+            0, "tokenb", "torus", "corrupt", workload="false_sharing"
+        ),
+        lineage=False, observe=False,
+    )
+    _assert_refused(scenario, "delivery handler")
+
+
+def test_closure_mutants_are_refused():
+    closure_mutants = sorted(set(MUTANTS) - PICKLABLE_MUTANTS)
+    assert closure_mutants, "expected at least one closure-based mutant"
+    refused = 0
+    for mutant in closure_mutants:
+        protocol = "tokenb"
+        scenario = Scenario(
+            seed=0, protocol=protocol, interconnect="torus",
+            workload="false_sharing", mutant=mutant, lineage=mutant.startswith("lineage-"),
+        )
+        try:
+            system = _armed_system(scenario)[0]
+        except Exception:
+            continue  # mutant not applicable to this protocol
+        with pytest.raises(SnapshotUnsupportedError):
+            SimulatorSnapshot.capture(system)
+        refused += 1
+    assert refused >= 3
+
+
+def test_generator_streams_are_refused():
+    """Lazily-streamed programs feed generators to the sequencers —
+    refused with a pointer at ReplayableStream (what fork_family wraps
+    warmup streams in so they survive the pickle)."""
+    from repro.config import SystemConfig
+    from repro.snapshot import demo_family
+    from repro.system.builder import build_system
+
+    config = SystemConfig(
+        protocol="tokenb", interconnect="torus", n_procs=2, seed=0
+    )
+    warmup = demo_family(warmup_ops=8, tail_ops=4, n_tails=1).warmup
+    streams = {
+        proc: warmup.iter_stream(proc, 2, 0, config.block_bytes)
+        for proc in range(2)
+    }
+    system = build_system(config, streams)
+    with pytest.raises(SnapshotUnsupportedError, match="ReplayableStream"):
+        SimulatorSnapshot.capture(system)

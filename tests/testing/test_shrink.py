@@ -106,6 +106,86 @@ def test_candidates_never_enlarge_the_scenario():
         assert candidate != scenario
 
 
+# ----------------------------------------------------------------------
+# Checkpointed shrinking
+# ----------------------------------------------------------------------
+
+
+def _checkpointable_violation() -> Scenario:
+    """A violating scenario inside the snapshot boundary: picklable
+    mutant, jitter-only perturbation, prefix-stable workload."""
+    return Scenario(
+        seed=3,
+        protocol="directory",
+        interconnect="torus",
+        workload="writeback_churn",
+        n_procs=4,
+        ops_per_proc=40,
+        perturb=PerturbSpec(link_jitter_ns=6.0),
+        mutant="writeback-leak",
+    )
+
+
+def test_checkpointable_classifies_the_boundary():
+    from repro.testing.shrink import checkpointable
+
+    assert checkpointable(_checkpointable_violation())
+    # Each refused overlay flips the verdict.
+    base = _checkpointable_violation()
+    assert not checkpointable(dataclasses.replace(base, lineage=True))
+    assert not checkpointable(dataclasses.replace(base, observe=True))
+    assert not checkpointable(dataclasses.replace(base, mutant="stale-probe"))
+    assert not checkpointable(
+        dataclasses.replace(base, perturb=PerturbSpec(drop_request_prob=0.1))
+    )
+    assert not checkpointable(dataclasses.replace(base, workload="phase_shift"))
+
+
+def test_checkpointed_shrink_simulates_fewer_events():
+    """The speedup contract: resuming ops-reduction candidates from the
+    violating run's snapshots yields the *same* minimized repro — same
+    scenario, byte-identical outcome — for strictly fewer simulated
+    events, with the savings visible in the stats out-param."""
+    scenario = _checkpointable_violation()
+    cold_stats: dict = {}
+    cold_scenario, cold_outcome = shrink(
+        scenario, checkpoints=False, stats=cold_stats
+    )
+    warm_stats: dict = {}
+    warm_scenario, warm_outcome = shrink(
+        scenario, checkpoints=True, stats=warm_stats
+    )
+
+    assert warm_scenario == cold_scenario
+    assert warm_outcome == cold_outcome
+    assert warm_stats["checkpoints"] > 0
+    assert warm_stats["resumed_runs"] > 0
+    assert warm_stats["events_saved"] > 0
+    assert warm_stats["events_simulated"] < cold_stats["events_simulated"]
+    # The accounting is conservation-exact: warm work + skipped warmups
+    # equals what the same candidate schedule cost cold.
+    assert cold_stats["resumed_runs"] == 0
+    assert cold_stats["events_saved"] == 0
+    assert (
+        warm_stats["events_simulated"] + warm_stats["events_saved"]
+        == cold_stats["events_simulated"]
+    )
+
+
+def test_unsupported_scenarios_degrade_to_cold_shrinking():
+    """Outside the snapshot boundary, checkpoints=True is a transparent
+    no-op: identical result, zero resumed runs."""
+    original = _forced_violation()  # no-escalation deadlock, cold-only...
+    original = dataclasses.replace(original, lineage=True)  # ...plus lineage
+    warm_stats: dict = {}
+    shrunk, outcome = shrink(original, checkpoints=True, stats=warm_stats)
+    assert not outcome.ok
+    assert warm_stats["checkpoints"] == 0
+    assert warm_stats["resumed_runs"] == 0
+    assert warm_stats["events_saved"] == 0
+    assert shrunk.ops_per_proc <= original.ops_per_proc
+
+
 def test_repro_file_is_pure_json(tmp_path):
     import json
 
