@@ -1,0 +1,225 @@
+"""Campaign service overhead: submissions/sec, cached serving, scheduler tax.
+
+Measures the daemon and scheduler layers themselves, not the simulator.
+Three questions, each answered against the same tiny simulate campaign:
+
+* ``submissions`` — how many ``submit`` round trips per second a live
+  daemon answers once the campaign is in its registry (accepted +
+  terminal ``done`` served straight from memory, no executor involved);
+* ``cached_serving`` — latency of serving the finished campaign through
+  the daemon versus re-reading the store directly (a warm
+  ``run_campaign`` replay), the two ways a client can ask "is this
+  done?";
+* ``scheduler`` — wall-clock of a cold serial run through the
+  scheduler/transport/store stack versus a bare ``execute_case`` loop
+  with no orchestration at all, so the whole subsystem's overhead is a
+  number rather than a feeling.
+
+Results go to ``BENCH_service.json`` at the repo root (override with
+``REPRO_BENCH_SERVICE_OUT``).  ``REPRO_BENCH_SMOKE=1`` shrinks the grid
+and the round counts.
+
+Run as ``pytest benchmarks/bench_service_throughput.py -s`` or
+``python benchmarks/bench_service_throughput.py``.
+"""
+
+# Script-mode shim: `python benchmarks/<this file>.py` has only this
+# directory on sys.path; _bootstrap adds the repo root and src/.
+if __package__ in (None, ""):
+    import _bootstrap  # noqa: F401
+
+import dataclasses
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign.executors import execute_case
+from repro.campaign.runner import run_campaign
+from repro.campaign.service import CampaignService, request_shutdown, submit_spec
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.workloads import COMMERCIAL_WORKLOADS
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _campaign() -> CampaignSpec:
+    protocols = ("tokenb", "directory", "hammer", "tokend", "tokenm", "snooping")
+    n = 3 if _smoke() else 6
+    return CampaignSpec(
+        name="service-bench",
+        kind="simulate",
+        grid=[
+            {
+                "workload": dataclasses.asdict(COMMERCIAL_WORKLOADS["apache"]),
+                "ops_per_proc": 40 + i,
+                "config": {
+                    "protocol": protocols[i % len(protocols)],
+                    "interconnect": "tree"
+                    if protocols[i % len(protocols)] == "snooping"
+                    else "torus",
+                    "n_procs": 2,
+                },
+            }
+            for i in range(n)
+        ],
+    )
+
+
+def measure() -> dict:
+    spec = _campaign()
+    cases = spec.cases()
+    rounds = 20 if _smoke() else 50
+    root = tempfile.mkdtemp(prefix="service-bench-")
+    store_root = str(Path(root) / "store")
+    results: dict[str, dict] = {}
+    service = CampaignService(address="127.0.0.1:0", queue_limit=8)
+    service.start()
+    try:
+        # Cold run through the daemon: fills the store and the registry.
+        t0 = time.perf_counter()
+        first = submit_spec(service.address, spec, store=store_root)
+        first_wall = time.perf_counter() - t0
+        report = first["report"]
+        assert report["executed"] == len(cases) and not report["failures"], report
+        results["first_run"] = {
+            "scenarios": report["total"],
+            "wall_s": round(first_wall, 4),
+            "scenarios_per_sec": round(report["total"] / first_wall, 1),
+        }
+
+        # Registry hits: every later identical submission is answered
+        # from memory — accepted + done in one round trip, zero executor
+        # work.  This is the daemon's cached-serving fast path.
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            outcome = submit_spec(service.address, spec, store=store_root)
+            assert outcome["accepted"]["deduped"] is True
+            assert outcome["report"]["executed"] == len(cases)
+        daemon_wall = time.perf_counter() - t0
+        results["submissions"] = {
+            "rounds": rounds,
+            "wall_s": round(daemon_wall, 4),
+            "submissions_per_sec": round(rounds / daemon_wall, 1),
+            "latency_ms": round(daemon_wall / rounds * 1e3, 3),
+        }
+    finally:
+        try:
+            request_shutdown(service.address)
+        except OSError:
+            pass
+        for thread in service._threads:
+            thread.join(timeout=10)
+
+    # The same question answered without the daemon: reload the store
+    # from disk and replay the campaign against it (a 100% cache hit).
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        replay = run_campaign(cases, CampaignStore(store_root), jobs=1)
+        assert replay.executed == 0 and replay.cached == len(cases)
+    direct_wall = time.perf_counter() - t0
+    results["cached_serving"] = {
+        "rounds": rounds,
+        "daemon_latency_ms": results["submissions"]["latency_ms"],
+        "direct_store_latency_ms": round(direct_wall / rounds * 1e3, 3),
+    }
+
+    # Scheduler tax: the full scheduler/transport/store stack on a cold
+    # serial run versus a bare executor loop with no orchestration.
+    bare_root = Path(root) / "bare"
+    t0 = time.perf_counter()
+    for case in cases:
+        execute_case(case)
+    bare_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cold = run_campaign(cases, CampaignStore(bare_root), jobs=1)
+    stack_wall = time.perf_counter() - t0
+    assert cold.executed == len(cases)
+    results["scheduler"] = {
+        "scenarios": len(cases),
+        "bare_executor_s": round(bare_wall, 4),
+        "scheduler_stack_s": round(stack_wall, 4),
+        "overhead_pct": round((stack_wall / bare_wall - 1.0) * 100.0, 1)
+        if bare_wall
+        else 0.0,
+    }
+    shutil.rmtree(root, ignore_errors=True)
+    return results
+
+
+def write_report(results: dict) -> Path:
+    out = Path(
+        os.environ.get(
+            "REPRO_BENCH_SERVICE_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_service.json",
+        )
+    )
+    report = {
+        "bench": "service_throughput",
+        "smoke": _smoke(),
+        "campaign": {
+            "kind": "simulate",
+            "scenarios": len(_campaign().cases()),
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def _print(results: dict, out: Path) -> None:
+    print(f"Campaign service throughput; report -> {out}")
+    first = results["first_run"]
+    print(
+        f"  first run   {first['scenarios']:>3} scenarios  "
+        f"{first['wall_s']:>7.3f}s  {first['scenarios_per_sec']:>8,.1f} sc/s"
+    )
+    subs = results["submissions"]
+    print(
+        f"  submissions {subs['rounds']:>3} rounds     "
+        f"{subs['wall_s']:>7.3f}s  {subs['submissions_per_sec']:>8,.1f} sub/s"
+        f"  ({subs['latency_ms']:.2f} ms each)"
+    )
+    cached = results["cached_serving"]
+    print(
+        f"  cached      daemon {cached['daemon_latency_ms']:.2f} ms   "
+        f"direct store {cached['direct_store_latency_ms']:.2f} ms"
+    )
+    sched = results["scheduler"]
+    print(
+        f"  scheduler   bare {sched['bare_executor_s']:.3f}s   "
+        f"stack {sched['scheduler_stack_s']:.3f}s   "
+        f"overhead {sched['overhead_pct']:+.1f}%"
+    )
+
+
+def bench_service_throughput(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    out = write_report(results)
+    print()
+    _print(results, out)
+    assert results["submissions"]["submissions_per_sec"] > 0
+    # Serving a finished campaign from the daemon's registry must beat
+    # re-running it cold through the executor.
+    assert (
+        results["submissions"]["latency_ms"] / 1e3
+        < results["first_run"]["wall_s"]
+    )
+
+
+if __name__ == "__main__":
+    results = measure()
+    out = write_report(results)
+    _print(results, out)

@@ -15,24 +15,59 @@ differential conformance harness all declare
   of resume history;
 * ``python -m repro.campaign run|status|report`` drives it from the
   command line (see :mod:`repro.campaign.cli`).
+
+Execution is three decoupled layers sharing that one code path:
+
+* **scheduler** (:mod:`repro.campaign.scheduler`) —
+  :class:`CampaignScheduler` diffs a spec against the store, drives a
+  transport, retries when the transport breaks mid-run, and beats the
+  heartbeat; it never knows how scenarios execute;
+* **transports** (:mod:`repro.campaign.transports`) — ``submit(batch)``
+  yielding completions: in-process serial, local process pool, or a
+  socket fleet that ``python -m repro.campaign worker`` processes pull
+  batches from.  A store produced through any transport is
+  byte-identical, post-compaction, to a serial run;
+* **service** (:mod:`repro.campaign.service`) — a persistent daemon
+  (``python -m repro.campaign serve``) owning shared stores: spec
+  submissions over a line-JSON socket, content-hash dedup of identical
+  submissions, a bounded queue with explicit backpressure, heartbeat
+  streaming to subscribers, and idle-time store compaction.
+
+:func:`run_campaign` remains the one-call convenience wrapper over the
+scheduler with a local transport.
 """
 
 from repro.campaign.runner import HeartbeatWriter, RunReport, run_campaign
+from repro.campaign.scheduler import CampaignScheduler
 from repro.campaign.spec import (
     CampaignSpec,
     ScenarioCase,
     code_fingerprint,
     union_cases,
 )
-from repro.campaign.store import CampaignStore, make_record
+from repro.campaign.store import CampaignStore, StoreBusyError, make_record
+from repro.campaign.transports import (
+    ProcessPoolTransport,
+    SerialTransport,
+    SocketFleetTransport,
+    TransportBroken,
+    fleet_worker,
+)
 
 __all__ = [
+    "CampaignScheduler",
     "CampaignSpec",
     "CampaignStore",
     "HeartbeatWriter",
+    "ProcessPoolTransport",
     "RunReport",
     "ScenarioCase",
+    "SerialTransport",
+    "SocketFleetTransport",
+    "StoreBusyError",
+    "TransportBroken",
     "code_fingerprint",
+    "fleet_worker",
     "make_record",
     "run_campaign",
     "union_cases",

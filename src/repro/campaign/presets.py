@@ -684,7 +684,8 @@ def smoke_spec() -> CampaignSpec:
     )
 
 
-#: Named specs the CLI resolves (callables taking optional kwargs).
+#: Named specs the CLI and the service resolve (callables taking
+#: optional kwargs).
 SPEC_BUILDERS = {
     "figures": figures_spec,
     "fig4a": fig4a_spec,
@@ -704,6 +705,31 @@ SPEC_BUILDERS = {
     "workloads": workloads_spec,
     "snapshots": snapshots_spec,
 }
+
+
+def build_spec(
+    name: str,
+    seeds: int = 8,
+    seed_base: int = 0,
+    smoke: bool = False,
+) -> CampaignSpec:
+    """Build a named preset, routing only the options it understands.
+
+    The one place that knows which presets take seed/smoke options —
+    shared by ``campaign run``'s spec resolution and ``campaign
+    submit``'s, so the CLI and the service construct identical specs
+    (and therefore identical content-addressed run ids).  Raises
+    :class:`KeyError` for unknown names.
+    """
+    builder = SPEC_BUILDERS[name]
+    kwargs: dict = {}
+    if name in ("explorer", "faults", "lineage"):
+        kwargs = dict(seeds=seeds, seed_base=seed_base, smoke=smoke)
+    elif name == "differential":
+        kwargs = dict(seeds=seeds, seed_base=seed_base)
+    elif name in ("workloads", "snapshots"):
+        kwargs = dict(smoke=smoke)
+    return builder(**kwargs)
 
 
 def union_spec_cases(*names):

@@ -1,191 +1,32 @@
-"""The campaign runner: deterministic partitioning over a worker pool.
+"""``run_campaign`` — the one-call compatibility face of the split.
 
-:func:`run_campaign` is the single execution path for every sweep in the
-repo — the figure-bench prewarm, the adversarial schedule explorer's
-``--jobs`` mode, the differential conformance harness, and the CLI all
-funnel through here.  Contract:
-
-* **Incremental**: only cases missing from the store execute; a
-  completed campaign re-runs as a 100% store hit.
-* **Deterministic outputs under arbitrary scheduling**: missing cases
-  are submitted in spec order to the pool's shared queue, so *which*
-  worker executes a scenario depends on completion timing — but every
-  result is content-addressed and compaction canonicalizes the store,
-  so the record set and the final shard bytes are a pure function of
-  (spec, code version), independent of jobs or scheduling.
-* **Bounded per-worker memory**: workers append results straight to
-  their own store shard and hand back only ``(key, ok, error)``
-  triples, so execution never accumulates payloads in worker RAM;
-  ``max_tasks_per_child`` (spawn context) additionally recycles worker
-  processes for leak isolation.  (The parent's store *index* does hold
-  all records once loaded — parent memory scales with store size, a
-  known limit well past every current campaign.)
-* **Serial fallback**: ``jobs=1`` runs everything in-process, in spec
-  order — the debugging path, and the path that keeps the explorer's
-  on-violation shrink/repro flow deterministic.
-
-The worker bootstrap below is the one former home of the ProcessPool
-prewarm logic that ``benchmarks/common.py`` and ``benchmarks/conftest``
-each reimplemented: workers bind to the store in the initializer and
-publish every result with a per-record flush, so a killed pool loses at
-most one in-flight line per worker (see :mod:`repro.campaign.store`).
+The monolithic runner this module used to hold is now two layers:
+:class:`~repro.campaign.scheduler.CampaignScheduler` (store diffing,
+retry, resume, heartbeats) and :mod:`~repro.campaign.transports`
+(serial / local pool / socket fleet execution).  Every historical call
+site — the benches, the explorer's ``--jobs`` mode, the differential
+harness, ``fork_family`` campaigns, and the CLI — keeps calling
+:func:`run_campaign` with the same signature and gets byte-identical
+stores; the function now just picks a transport and delegates.  New
+code that wants a different execution strategy (a persistent daemon, a
+remote fleet) composes the layers directly.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import json
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
-from pathlib import Path
-from typing import Callable, Sequence
+from typing import Sequence
 
-from repro.campaign.executors import execute_case
+from repro.campaign.scheduler import (  # noqa: F401 — historical exports
+    CampaignScheduler,
+    HeartbeatWriter,
+    ProgressFn,
+    RunReport,
+    resolve_jobs,
+)
 from repro.campaign.spec import CampaignSpec, ScenarioCase
-from repro.campaign.store import CampaignStore, make_record
-
-#: progress(done, total, case, ok, error) — called after each *executed*
-#: case in completion order; ``done`` starts at the cached count.
-ProgressFn = Callable[[int, int, ScenarioCase, bool, "str | None"], None]
-
-
-@dataclasses.dataclass
-class RunReport:
-    """What one :func:`run_campaign` invocation did."""
-
-    total: int
-    executed: int
-    cached: int
-    failures: list[dict] = dataclasses.field(default_factory=list)
-    elapsed_s: float = 0.0
-
-    @property
-    def ok(self) -> bool:
-        return not self.failures
-
-
-#: Pool respawns after a worker crash (``BrokenProcessPool``) before the
-#: still-unfinished cases are surfaced as failures.
-_POOL_RETRIES = 2
-
-
-class HeartbeatWriter:
-    """Atomic progress beacon for ``campaign status --watch``.
-
-    One JSON object per beat, written tmp-then-:func:`os.replace` so a
-    concurrent reader never sees a torn file.  Beats happen on every
-    completion plus once at start and once at the end (``finished``
-    flips true), so a watcher polling the file sees monotone progress
-    and a definitive terminal state even for a 100%-cached run.
-    """
-
-    def __init__(self, path, total: int, cached: int, jobs: int) -> None:
-        self.path = Path(path)
-        self.total = total
-        self.cached = cached
-        self.jobs = jobs
-        self.failures = 0
-        self._streams: dict[str, int] = {}
-        self._started = time.time()
-        self._t0 = time.perf_counter()
-
-    def beat(self, done: int, stream: str | None = None,
-             ok: bool = True, finished: bool = False) -> None:
-        if stream is not None:
-            self._streams[stream] = self._streams.get(stream, 0) + 1
-        if not ok:
-            self.failures += 1
-        elapsed = time.perf_counter() - self._t0
-        executed = sum(self._streams.values())
-        rate = executed / elapsed if elapsed > 0 else 0.0
-        remaining = self.total - done
-        payload = {
-            "total": self.total,
-            "completed": done,
-            "cached": self.cached,
-            "executed": executed,
-            "failures": self.failures,
-            "jobs": self.jobs,
-            "started_at": self._started,
-            "updated_at": time.time(),
-            "elapsed_s": round(elapsed, 3),
-            "throughput_per_s": round(rate, 4),
-            "eta_s": round(remaining / rate, 1) if rate > 0 else None,
-            "shards": {
-                name: {
-                    "completed": count,
-                    "per_s": round(count / elapsed, 4) if elapsed > 0 else 0.0,
-                }
-                for name, count in sorted(self._streams.items())
-            },
-            "finished": finished,
-        }
-        tmp = self.path.with_suffix(".tmp")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, self.path)
-
-
-def resolve_jobs(jobs: int | None, n_cases: int) -> int:
-    """Auto (``None``) = one worker per core, capped by the case count."""
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    return max(1, min(jobs, max(n_cases, 1)))
-
-
-# ----------------------------------------------------------------------
-# Worker side
-# ----------------------------------------------------------------------
-
-_worker_store: CampaignStore | None = None
-_worker_stream: str = "serial"
-
-
-def _worker_init(root: str, n_shards: int) -> None:
-    """Bootstrap one pool worker: bind its private store stream.
-
-    Runs once per worker process.  The executor registry (and thus the
-    simulator) is imported lazily on first case, which under the default
-    fork context is already resident from the parent — the prewarm
-    effect the old benchmark pool got by importing ``benchmarks.common``
-    in every worker.
-    """
-    global _worker_store, _worker_stream
-    _worker_store = CampaignStore(root, n_shards=n_shards)
-    _worker_stream = f"worker-{os.getpid()}"
-
-
-def _worker_run(
-    payload: tuple[str, dict, str],
-) -> tuple[str, bool, str | None, str]:
-    """Execute one case in a pool worker and publish its record."""
-    kind, params, fingerprint = payload
-    case = ScenarioCase(kind, params, fingerprint=fingerprint)
-    try:
-        result = execute_case(case)
-    except Exception as exc:  # noqa: BLE001 — reported, not swallowed
-        return case.key, False, f"{type(exc).__name__}: {exc}", _worker_stream
-    _worker_store.append(make_record(case, result), stream=_worker_stream)
-    return case.key, True, None, _worker_stream
-
-
-def _ensure_child_import_path() -> None:
-    """Make ``repro`` importable in spawn-context children via PYTHONPATH."""
-    import repro
-
-    src = str(os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))))
-    existing = os.environ.get("PYTHONPATH", "")
-    if src not in existing.split(os.pathsep):
-        os.environ["PYTHONPATH"] = (
-            src + (os.pathsep + existing if existing else "")
-        )
-
-
-# ----------------------------------------------------------------------
-# Parent side
-# ----------------------------------------------------------------------
+from repro.campaign.store import CampaignStore
+from repro.campaign.transports import ProcessPoolTransport, SerialTransport
 
 
 def run_campaign(
@@ -199,145 +40,26 @@ def run_campaign(
 ) -> RunReport:
     """Execute every case not yet in ``store``; return what happened.
 
-    Failures (executor exceptions, as opposed to oracle violations,
-    which are ordinary *results* for the ``explore`` kind) are listed in
-    the report and their cases left unrecorded, so a rerun retries them.
-
-    ``heartbeat`` names a JSON file atomically rewritten on every
-    completion (see :class:`HeartbeatWriter`); ``python -m
-    repro.campaign status --watch`` tails it for live progress.
+    ``jobs=1`` runs in-process via :class:`SerialTransport` (the
+    debugging path); more fans out over a :class:`ProcessPoolTransport`
+    sized by :func:`resolve_jobs` (``None`` = all usable cores, capped
+    by the missing-case count).  ``heartbeat`` names a JSON file
+    atomically rewritten on every completion (see
+    :class:`HeartbeatWriter`); ``python -m repro.campaign status
+    --watch`` tails it for live progress.
     """
-    if isinstance(spec_or_cases, CampaignSpec):
-        cases = spec_or_cases.cases()
-    else:
-        cases = list(spec_or_cases)
-    started = time.perf_counter()
-    missing = store.missing(cases)
-    total = len(cases)
-    done = total - len(missing)
-    failures: list[dict] = []
-    jobs = resolve_jobs(jobs, len(missing))
-    beacon = None
-    if heartbeat is not None:
-        beacon = HeartbeatWriter(heartbeat, total, done, jobs)
-        beacon.beat(done)
-
-    if missing and jobs == 1:
-        for case in missing:
-            try:
-                result = execute_case(case)
-            except Exception as exc:  # noqa: BLE001
-                failures.append(
-                    {"key": case.key, "error": f"{type(exc).__name__}: {exc}"}
-                )
-                done += 1
-                if beacon is not None:
-                    beacon.beat(done, stream="serial", ok=False)
-                if progress is not None:
-                    progress(done, total, case, False, failures[-1]["error"])
-                continue
-            store.append(make_record(case, result), stream="serial")
-            done += 1
-            if beacon is not None:
-                beacon.beat(done, stream="serial")
-            if progress is not None:
-                progress(done, total, case, True, None)
-    elif missing:
-        # Spawn-default platforms (macOS/Windows) rebuild sys.path from
-        # the environment, so make ``repro`` importable unconditionally
-        # — harmless under fork, required everywhere else.
-        _ensure_child_import_path()
-        pool_kwargs: dict = dict(
-            max_workers=jobs,
-            initializer=_worker_init,
-            initargs=(str(store.root), store.n_shards),
-        )
-        if max_tasks_per_child is not None:
-            # Worker recycling needs a fresh interpreter per batch; the
-            # fork context does not support it.
-            import multiprocessing
-
-            pool_kwargs["mp_context"] = multiprocessing.get_context("spawn")
-            pool_kwargs["max_tasks_per_child"] = max_tasks_per_child
-
-        # A worker dying mid-case (OOM kill, segfault, os._exit) breaks
-        # the whole pool: every in-flight future raises
-        # BrokenProcessPool.  Resumability makes a retry safe — workers
-        # flush each record as a line in their pending shard, so
-        # reloading the store recovers everything completed before the
-        # crash, and only the genuinely unfinished cases are
-        # resubmitted to a fresh pool.  After _POOL_RETRIES respawns the
-        # still-unfinished cases surface as ordinary failures.
-        remaining = list(missing)
-        for attempt in range(_POOL_RETRIES + 1):
-            try:
-                by_case = {}
-                with ProcessPoolExecutor(**pool_kwargs) as pool:
-                    # Submission in spec order; workers pull from the
-                    # shared queue, and content-addressing + compaction
-                    # make the final store independent of which worker
-                    # ran what.
-                    for case in remaining:
-                        future = pool.submit(
-                            _worker_run,
-                            (case.kind, case.params, case.fingerprint),
-                        )
-                        by_case[future] = case
-                    for future in as_completed(by_case):
-                        case = by_case[future]
-                        key, ok, error, stream = future.result()
-                        if not ok:
-                            failures.append({"key": key, "error": error})
-                        done += 1
-                        if beacon is not None:
-                            beacon.beat(done, stream=stream, ok=ok)
-                        if progress is not None:
-                            progress(done, total, case, ok, error)
-                remaining = []
-                break
-            except BrokenProcessPool:
-                # Mark this round's in-flight cases unfinished: reload
-                # the store (picking up the crashed pool's pending
-                # shards) and keep whatever is still missing, minus the
-                # cases that already failed in an orderly way.
-                store.close()
-                store.load()
-                failed_keys = {failure["key"] for failure in failures}
-                remaining = [
-                    case
-                    for case in store.missing(remaining)
-                    if case.key not in failed_keys
-                ]
-                done = total - len(remaining)
-                if not remaining:
-                    break
-        if remaining:
-            failures.extend(
-                {
-                    "key": case.key,
-                    "error": (
-                        "BrokenProcessPool: a worker died abruptly and "
-                        f"the pool was respawned {_POOL_RETRIES} times "
-                        "without finishing this case"
-                    ),
-                }
-                for case in remaining
-            )
-
-    if beacon is not None:
-        beacon.beat(done, finished=True)
-    store.close()
-    if compact and store.dirty:
-        # compact() re-reads everything on disk, which also folds the
-        # workers' pending shards into the parent's index.
-        store.compact()
-    elif missing and jobs > 1:
-        # No compaction: an explicit reload picks up worker records.
-        store.load()
-    return RunReport(
-        total=total,
-        executed=len(missing) - len(failures),
-        cached=total - len(missing),
-        failures=failures,
-        elapsed_s=round(time.perf_counter() - started, 3),
+    scheduler = CampaignScheduler(
+        store, progress=progress, compact=compact, heartbeat=heartbeat
     )
+    cases = scheduler.cases_of(spec_or_cases)
+    jobs = resolve_jobs(jobs, len(store.missing(cases)))
+    if jobs == 1:
+        transport = SerialTransport(store)
+    else:
+        transport = ProcessPoolTransport(
+            store, jobs, max_tasks_per_child=max_tasks_per_child
+        )
+    try:
+        return scheduler.run(cases, transport)
+    finally:
+        transport.shutdown()

@@ -1,0 +1,294 @@
+"""The campaign scheduler: store diffing, retries, heartbeats — no I/O
+strategy of its own.
+
+:class:`CampaignScheduler` is the transport-agnostic half of what used
+to be one monolithic ``run_campaign``: it consumes a
+:class:`~repro.campaign.spec.CampaignSpec` (or explicit case list),
+diffs it against the store, submits the missing cases to whatever
+:mod:`~repro.campaign.transports` transport it is handed, and turns the
+stream of completions into progress callbacks, heartbeat beats, and a
+:class:`RunReport`.  Contract (unchanged from the monolith — the
+equivalence tests pin it):
+
+* **Incremental**: only cases missing from the store execute; a
+  completed campaign re-runs as a 100% store hit.
+* **Deterministic outputs under arbitrary scheduling**: missing cases
+  are submitted in spec order; *which* lane executes a scenario depends
+  on completion timing — but every result is content-addressed and
+  compaction canonicalizes the store, so the record set and the final
+  shard bytes are a pure function of (spec, code version), independent
+  of transport, lanes, or scheduling.
+* **Broken-transport retry**: a transport losing workers mid-batch
+  (:class:`~repro.campaign.transports.TransportBroken`) is survivable —
+  the store is reloaded (picking up every record flushed before the
+  crash), the genuinely unfinished cases are resubmitted, and after
+  :data:`_TRANSPORT_RETRIES` restarts the stragglers surface as
+  ordinary per-case failures.
+* **Durability before acknowledgement**: transports publish each record
+  to the store before yielding its completion, so a beat (and a
+  subscriber update downstream) never claims work a crash could lose.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.campaign.spec import CampaignSpec, ScenarioCase
+from repro.campaign.store import CampaignStore, StoreBusyError
+from repro.campaign.transports import TransportBroken
+
+#: progress(done, total, case, ok, error) — called after each *executed*
+#: case in completion order; ``done`` starts at the cached count.
+ProgressFn = Callable[[int, int, ScenarioCase, bool, "str | None"], None]
+
+#: Transport restarts after a mid-batch break (worker crash) before the
+#: still-unfinished cases are surfaced as failures.
+_TRANSPORT_RETRIES = 2
+
+
+@dataclasses.dataclass
+class RunReport:
+    """What one scheduler run (or ``run_campaign`` call) did."""
+
+    total: int
+    executed: int
+    cached: int
+    failures: list[dict] = dataclasses.field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class HeartbeatWriter:
+    """Atomic progress beacon for ``campaign status --watch``.
+
+    One JSON object per beat, written tmp-then-:func:`os.replace` so a
+    concurrent reader never sees a torn file.  Beats happen on every
+    completion plus once at start and once at the end (``finished``
+    flips true), so a watcher polling the file sees monotone progress
+    and a definitive terminal state even for a 100%-cached run.
+
+    ``path`` may be ``None`` for a file-less beacon; each beat payload
+    is also handed to ``sink`` when given — the campaign service streams
+    exactly these payloads to its subscribers, so a socket watcher and
+    a file watcher read the same format.
+    """
+
+    def __init__(self, path, total: int, cached: int, jobs: int,
+                 sink: Callable[[dict], None] | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.total = total
+        self.cached = cached
+        self.jobs = jobs
+        self.failures = 0
+        self.sink = sink
+        self._streams: dict[str, int] = {}
+        self._started = time.time()
+        self._t0 = time.perf_counter()
+
+    def beat(self, done: int, stream: str | None = None,
+             ok: bool = True, finished: bool = False) -> None:
+        if stream is not None:
+            self._streams[stream] = self._streams.get(stream, 0) + 1
+        if not ok:
+            self.failures += 1
+        elapsed = time.perf_counter() - self._t0
+        executed = sum(self._streams.values())
+        rate = executed / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - done
+        payload = {
+            "total": self.total,
+            "completed": done,
+            "cached": self.cached,
+            "executed": executed,
+            "failures": self.failures,
+            "jobs": self.jobs,
+            "started_at": self._started,
+            "updated_at": time.time(),
+            "elapsed_s": round(elapsed, 3),
+            "throughput_per_s": round(rate, 4),
+            "eta_s": round(remaining / rate, 1) if rate > 0 else None,
+            "shards": {
+                name: {
+                    "completed": count,
+                    "per_s": round(count / elapsed, 4) if elapsed > 0 else 0.0,
+                }
+                for name, count in sorted(self._streams.items())
+            },
+            "finished": finished,
+        }
+        if self.path is not None:
+            tmp = self.path.with_suffix(".tmp")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, self.path)
+        if self.sink is not None:
+            self.sink(payload)
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually use, not the machine's total.
+
+    ``sched_getaffinity`` respects container/cgroup cpusets and
+    ``taskset`` restrictions; ``cpu_count`` would oversubscribe the pool
+    on affinity-restricted hosts.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # platforms without the syscall
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None, n_cases: int) -> int:
+    """Auto (``None``) = one worker per usable core, capped by case count."""
+    if jobs is None:
+        jobs = _available_cpus()
+    return max(1, min(jobs, max(n_cases, 1)))
+
+
+class CampaignScheduler:
+    """Drive a campaign to completion over any transport.
+
+    One scheduler may run many campaigns against its store (the service
+    daemon does); each :meth:`run` is independent.  ``heartbeat`` names
+    the beacon file (``None`` disables it); ``heartbeat_sink``
+    additionally receives every beat payload in-process.
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        progress: ProgressFn | None = None,
+        compact: bool = True,
+        heartbeat: "str | os.PathLike | None" = None,
+        heartbeat_sink: Callable[[dict], None] | None = None,
+        retries: int | None = None,
+    ):
+        self.store = store
+        self.progress = progress
+        self.compact = compact
+        self.heartbeat = heartbeat
+        self.heartbeat_sink = heartbeat_sink
+        self.retries = _TRANSPORT_RETRIES if retries is None else retries
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def cases_of(
+        spec_or_cases: CampaignSpec | Sequence[ScenarioCase],
+    ) -> list[ScenarioCase]:
+        if isinstance(spec_or_cases, CampaignSpec):
+            return spec_or_cases.cases()
+        return list(spec_or_cases)
+
+    def pending(
+        self, spec_or_cases: CampaignSpec | Sequence[ScenarioCase]
+    ) -> list[ScenarioCase]:
+        """Diff a spec against the store: the cases that would execute."""
+        return self.store.missing(self.cases_of(spec_or_cases))
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        spec_or_cases: CampaignSpec | Sequence[ScenarioCase],
+        transport,
+    ) -> RunReport:
+        """Execute every case not yet in the store; return what happened.
+
+        Failures (executor exceptions, as opposed to oracle violations,
+        which are ordinary *results* for the ``explore`` kind) are
+        listed in the report and their cases left unrecorded, so a rerun
+        retries them.
+        """
+        cases = self.cases_of(spec_or_cases)
+        started = time.perf_counter()
+        missing = self.store.missing(cases)
+        total = len(cases)
+        done = total - len(missing)
+        failures: list[dict] = []
+        beacon = None
+        if self.heartbeat is not None or self.heartbeat_sink is not None:
+            beacon = HeartbeatWriter(
+                self.heartbeat, total, done,
+                getattr(transport, "lanes", 1), sink=self.heartbeat_sink,
+            )
+            beacon.beat(done)
+
+        remaining = list(missing)
+        broken_reason = "TransportBroken"
+        for _attempt in range(self.retries + 1):
+            if not remaining:
+                break
+            try:
+                for completion in transport.submit(remaining):
+                    if not completion.ok:
+                        failures.append(
+                            {"key": completion.case.key,
+                             "error": completion.error}
+                        )
+                    done += 1
+                    if beacon is not None:
+                        beacon.beat(done, stream=completion.stream,
+                                    ok=completion.ok)
+                    if self.progress is not None:
+                        self.progress(done, total, completion.case,
+                                      completion.ok, completion.error)
+                remaining = []
+            except TransportBroken as exc:
+                # Mark this round's in-flight cases unfinished: reload
+                # the store (picking up every record flushed before the
+                # crash) and keep whatever is still missing, minus the
+                # cases that already failed in an orderly way.
+                broken_reason = exc.reason
+                self.store.close()
+                self.store.load()
+                failed_keys = {failure["key"] for failure in failures}
+                remaining = [
+                    case
+                    for case in self.store.missing(remaining)
+                    if case.key not in failed_keys
+                ]
+                done = total - len(remaining)
+        if remaining:
+            failures.extend(
+                {
+                    "key": case.key,
+                    "error": (
+                        f"{broken_reason} and the transport was restarted "
+                        f"{self.retries} times without finishing this case"
+                    ),
+                }
+                for case in remaining
+            )
+
+        if beacon is not None:
+            beacon.beat(done, finished=True)
+        self.store.close()
+        if self.compact and self.store.dirty:
+            try:
+                # compact() re-reads everything on disk, which also folds
+                # the transport's pending shards into the parent's index.
+                self.store.compact()
+            except StoreBusyError:
+                # Another writer (a concurrent CLI run, a daemon) holds
+                # the store's writer lock: leave its pending files alone
+                # and just fold the records into this process's index.
+                self.store.load()
+        elif missing and getattr(transport, "out_of_process", False):
+            # No compaction: an explicit reload picks up worker records.
+            self.store.load()
+        return RunReport(
+            total=total,
+            executed=len(missing) - len(failures),
+            cached=total - len(missing),
+            failures=failures,
+            elapsed_s=round(time.perf_counter() - started, 3),
+        )

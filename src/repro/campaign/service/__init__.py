@@ -1,0 +1,45 @@
+"""The campaign service: a long-lived daemon owning a shared store.
+
+``python -m repro.campaign serve`` starts :class:`CampaignService`;
+clients submit serialized :class:`~repro.campaign.spec.CampaignSpec`
+documents over a line-JSON socket (:mod:`repro.campaign.wire`) and —
+optionally — stay subscribed for live progress beats in exactly the
+heartbeat-beacon format ``status --watch`` tails.
+
+What the daemon adds over one-shot ``campaign run``:
+
+* **Dedup**: submissions are content-hashed (store root + the sorted
+  scenario keys, which already fold in params and code fingerprint);
+  an identical concurrent submission executes once, with the second
+  submitter subscribed to the first's run.  A submission whose run
+  already finished is served straight from the registry/store without
+  re-scheduling anything.
+* **Backpressure**: the run queue is bounded; a submission past the
+  bound gets an explicit ``backpressure`` response instead of an
+  unbounded queue or a hung socket.
+* **Shared-store safety**: the daemon is one more advisory-locked
+  writer (:class:`~repro.campaign.store.CampaignStore`), so concurrent
+  CLI runs against the same store stay safe, and the daemon's idle-time
+  compaction politely refuses while any other writer is live.
+* **Idle compaction**: stores dirtied by runs are folded into canonical
+  shards when the queue drains, so long-lived service stores converge
+  to the same bytes a one-shot ``campaign run`` leaves behind.
+"""
+
+from repro.campaign.service.client import (
+    ServiceBusy,
+    ServiceRejected,
+    ping,
+    request_shutdown,
+    submit_spec,
+)
+from repro.campaign.service.daemon import CampaignService
+
+__all__ = [
+    "CampaignService",
+    "ServiceBusy",
+    "ServiceRejected",
+    "ping",
+    "request_shutdown",
+    "submit_spec",
+]

@@ -1,0 +1,128 @@
+"""Client side of the campaign service's line-JSON protocol.
+
+Every helper opens one connection, speaks one request, and (for
+watching submitters) consumes the beat stream until the terminal
+``done`` message.  The beat payloads are exactly the heartbeat-beacon
+documents ``campaign status --watch`` reads from disk, so a socket
+watcher and a file watcher render identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.campaign import wire
+from repro.campaign.spec import CampaignSpec, code_fingerprint
+
+
+class ServiceRejected(RuntimeError):
+    """The daemon refused the submission outright (bad spec, wrong
+    source fingerprint, or a draining service)."""
+
+
+class ServiceBusy(RuntimeError):
+    """Backpressure: the daemon's run queue is at its bound.
+
+    Explicit by design — the submitter decides whether to retry, back
+    off, or fall back to a direct ``campaign run``; the daemon never
+    queues unboundedly or leaves the socket hanging.
+    """
+
+    def __init__(self, reason: str, queue_depth: int, queue_limit: int):
+        super().__init__(reason)
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+
+
+def _request(address: str, message: dict, timeout: float | None) -> dict:
+    sock = wire.connect(address, timeout=timeout)
+    stream = wire.MessageStream(sock)
+    try:
+        stream.send(message)
+        response = stream.read()
+    finally:
+        stream.close()
+    if response is None:
+        raise ConnectionError(f"campaign service at {address} closed the connection")
+    return response
+
+
+def ping(address: str, timeout: float | None = 5.0) -> dict:
+    """The daemon's status document (queue depth, run counts)."""
+    return _request(address, {"type": "ping"}, timeout)
+
+
+def request_shutdown(address: str, timeout: float | None = 5.0) -> dict:
+    """Ask the daemon to drain, compact its stores, and exit.
+
+    Returns the acknowledgement; the daemon *process* exiting is the
+    signal that queued runs finished and every store was compacted.
+    """
+    return _request(address, {"type": "shutdown"}, timeout)
+
+
+def submit_spec(
+    address: str,
+    spec: CampaignSpec,
+    store: str | None = None,
+    jobs: int | None = None,
+    watch: bool = True,
+    on_beat: Callable[[dict], None] | None = None,
+    timeout: float | None = None,
+) -> dict:
+    """Submit one campaign; return ``{"accepted": ..., "report": ...}``.
+
+    With ``watch=True`` (default) the call blocks until the run
+    finishes, invoking ``on_beat`` for every progress beat; otherwise it
+    returns as soon as the daemon acknowledges the submission
+    (``report`` is ``None``).  Raises :class:`ServiceBusy` on
+    backpressure and :class:`ServiceRejected` on refusal, so callers
+    cannot mistake either for a completed run.
+    """
+    sock = wire.connect(address, timeout=timeout)
+    stream = wire.MessageStream(sock)
+    try:
+        message = {
+            "type": "submit",
+            "spec": spec.to_dict(),
+            "store": store,
+            "watch": watch,
+            "fingerprint": code_fingerprint(),
+        }
+        if jobs is not None:
+            # Omitted (not null) when unset, so the daemon's default
+            # parallelism applies.
+            message["jobs"] = jobs
+        stream.send(message)
+        first = stream.read()
+        if first is None:
+            raise ConnectionError(
+                f"campaign service at {address} closed the connection"
+            )
+        if first.get("type") == "backpressure":
+            raise ServiceBusy(
+                first.get("reason", "service busy"),
+                first.get("queue_depth", -1),
+                first.get("queue_limit", -1),
+            )
+        if first.get("type") == "rejected":
+            raise ServiceRejected(first.get("reason", "submission rejected"))
+        accepted = first
+        if not watch:
+            return {"accepted": accepted, "report": None}
+        report = None
+        for message in stream:
+            kind = message.get("type")
+            if kind == "beat" and on_beat is not None:
+                on_beat(message)
+            elif kind == "done":
+                report = message.get("report")
+                break
+        if report is None:
+            raise ConnectionError(
+                "campaign service disconnected before the run finished "
+                f"(run {accepted.get('run_id')})"
+            )
+        return {"accepted": accepted, "report": report}
+    finally:
+        stream.close()

@@ -1,0 +1,408 @@
+"""The campaign daemon: queue, dedup, and execution behind one socket.
+
+One :class:`CampaignService` owns every store it runs campaigns
+against.  Execution reuses the exact scheduler/transport stack the CLI
+uses (:class:`~repro.campaign.scheduler.CampaignScheduler` over a
+serial/pool/fleet transport), so a store produced through the service
+is byte-identical, post-compaction, to one produced by ``campaign
+run`` — the ``service-smoke`` CI job pins that.
+
+Threading model: one accept thread spawns a short-lived handler thread
+per connection; handlers only touch the registry/queue under the
+service lock and register subscriber streams.  A single executor
+thread owns all store I/O — runs execute one at a time against the
+shared stores, and compaction happens on the same thread when the
+queue drains, so store objects are never shared across threads.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import threading
+from pathlib import Path
+
+from repro.campaign import wire
+from repro.campaign.scheduler import CampaignScheduler, RunReport, resolve_jobs
+from repro.campaign.spec import CampaignSpec, canonical_json, code_fingerprint
+from repro.campaign.store import CampaignStore, StoreBusyError
+from repro.campaign.transports import (
+    ProcessPoolTransport,
+    SerialTransport,
+    SocketFleetTransport,
+)
+
+#: How long the executor sleeps between wake-up checks while idle.
+_IDLE_POLL_S = 0.05
+
+
+def run_id_for(store_root: str, case_keys) -> str:
+    """Content hash identifying one (store, scenario set) submission.
+
+    The scenario keys already fold in kind, params, and the code
+    fingerprint, so two submissions collide exactly when they would do
+    identical work against the same store — the dedup criterion.
+    """
+    digest = hashlib.sha256(
+        canonical_json({"store": str(store_root), "keys": sorted(case_keys)}).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+class _Run:
+    """One deduplicated unit of service work and its subscribers."""
+
+    def __init__(self, run_id: str, spec: CampaignSpec, cases, store_root: str,
+                 jobs: int | None):
+        self.run_id = run_id
+        self.spec = spec
+        self.cases = cases
+        self.store_root = store_root
+        self.jobs = jobs
+        self.state = "queued"  # queued -> running -> done
+        self.submitters = 1
+        self.report: RunReport | None = None
+        self.subscribers: list[wire.MessageStream] = []
+
+
+class CampaignService:
+    """A persistent campaign daemon on one TCP or Unix socket address.
+
+    ``queue_limit`` bounds *queued* runs (the running one excluded);
+    ``jobs`` is the default per-run parallelism (submissions may
+    override it).  ``fleet`` optionally names a second listen address:
+    when given, every run executes over one persistent
+    :class:`SocketFleetTransport` that ``python -m repro.campaign
+    worker`` processes attach to, instead of a local pool.
+    """
+
+    def __init__(
+        self,
+        address: str = "127.0.0.1:0",
+        queue_limit: int = 8,
+        jobs: int | None = 1,
+        fingerprint: str | None = None,
+        fleet: str | None = None,
+        fleet_timeout: float | None = 60.0,
+    ):
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else code_fingerprint()
+        )
+        self.queue_limit = max(1, queue_limit)
+        self.jobs = jobs
+        self._server = wire.listen(address)
+        self.address = wire.bound_address(self._server)
+        self._lock = threading.Lock()
+        self._runs: dict[str, _Run] = {}
+        self._queue: collections.deque[_Run] = collections.deque()
+        self._stores: dict[str, CampaignStore] = {}
+        self._dirty_roots: set[str] = set()
+        self._wakeup = threading.Event()
+        self._draining = False
+        self._closing = False
+        self._fleet: SocketFleetTransport | None = None
+        self._fleet_address = fleet
+        self._fleet_timeout = fleet_timeout
+        #: Where fleet workers attach, once :meth:`start` binds it.
+        self.fleet_address: str | None = None
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._fleet_address is not None:
+            # One fleet shared by every run: workers stay attached and
+            # idle-poll between campaigns.
+            self._fleet = SocketFleetTransport(
+                # Store rebinding happens per run (see _execute).
+                CampaignStore(Path(".")),
+                address=self._fleet_address,
+                fingerprint=self.fingerprint,
+                worker_timeout=self._fleet_timeout,
+            )
+            self.fleet_address = self._fleet.address
+        for target, name in (
+            (self._accept_loop, "service-accept"),
+            (self._executor_loop, "service-executor"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def serve_forever(self) -> None:
+        """Start and block until a ``shutdown`` message (or :meth:`stop`)."""
+        if not self._threads:
+            self.start()
+        for thread in self._threads:
+            thread.join()
+
+    def stop(self) -> None:
+        """Stop accepting and exit once the current run finishes."""
+        self._closing = True
+        self._wakeup.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        # Poll with a timeout rather than blocking forever: closing a
+        # listening socket does not reliably wake a blocked accept(), and
+        # this thread must exit for serve_forever (and the daemon
+        # process) to terminate on shutdown.
+        self._server.settimeout(0.2)
+        while not self._closing:
+            try:
+                conn, _addr = self._server.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            conn.settimeout(None)
+            threading.Thread(
+                target=self._serve_client, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_client(self, conn) -> None:
+        stream = wire.MessageStream(conn)
+        keep_open = False
+        try:
+            message = stream.read()
+            if message is None:
+                return
+            kind = message.get("type")
+            if kind == "ping":
+                stream.send({"type": "pong", **self._status()})
+            elif kind == "shutdown":
+                # Acknowledge, then drain: the executor finishes queued
+                # runs, compacts every dirty store, and exits — the
+                # process ending is the caller's "durably settled" cue.
+                stream.send({"type": "bye", **self._status()})
+                self._draining = True
+                self._wakeup.set()
+            elif kind == "submit":
+                keep_open = self._handle_submit(stream, message)
+            else:
+                stream.send(
+                    {"type": "rejected",
+                     "reason": f"unknown message type {kind!r}"}
+                )
+        finally:
+            if not keep_open:
+                stream.close()
+
+    def _status(self) -> dict:
+        with self._lock:
+            return {
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+                "runs": {
+                    state: sum(1 for r in self._runs.values() if r.state == state)
+                    for state in ("queued", "running", "done")
+                },
+                "fingerprint": self.fingerprint,
+            }
+
+    def _handle_submit(self, stream: wire.MessageStream, message: dict) -> bool:
+        """Queue, dedup, or refuse one submission; True keeps the socket.
+
+        The accepted/backpressure response and any subscriber
+        registration happen under one lock acquisition, so a subscriber
+        can never miss the terminal ``done`` broadcast (which the
+        executor also sends under the lock).
+        """
+        fingerprint = message.get("fingerprint")
+        if fingerprint != self.fingerprint:
+            # A submitter built from different sources would hash every
+            # scenario to keys this daemon's records can never satisfy.
+            stream.send(
+                {
+                    "type": "rejected",
+                    "reason": "source fingerprint mismatch: client "
+                    f"{fingerprint!r} != service {self.fingerprint!r}",
+                }
+            )
+            return False
+        try:
+            spec = CampaignSpec.from_dict(message["spec"])
+            cases = spec.cases()
+        except (KeyError, TypeError, ValueError) as exc:
+            stream.send(
+                {"type": "rejected", "reason": f"bad spec: {exc}"}
+            )
+            return False
+        store_root = str(
+            message.get("store")
+            or spec.default_store
+            or f".campaign_store/{spec.name}"
+        )
+        run_id = run_id_for(store_root, [case.key for case in cases])
+        watch = bool(message.get("watch", True))
+        with self._lock:
+            run = self._runs.get(run_id)
+            deduped = run is not None
+            if run is None:
+                if self._draining or self._closing:
+                    stream.send(
+                        {"type": "rejected", "reason": "service shutting down"}
+                    )
+                    return False
+                if len(self._queue) >= self.queue_limit:
+                    stream.send(
+                        {
+                            "type": "backpressure",
+                            "reason": "run queue full — resubmit later",
+                            "queue_depth": len(self._queue),
+                            "queue_limit": self.queue_limit,
+                        }
+                    )
+                    return False
+                run = _Run(run_id, spec, cases, store_root,
+                           message.get("jobs", self.jobs))
+                self._runs[run_id] = run
+                self._queue.append(run)
+                self._wakeup.set()
+            else:
+                run.submitters += 1
+            stream.send(
+                {
+                    "type": "accepted",
+                    "run_id": run_id,
+                    "deduped": deduped,
+                    "state": run.state,
+                    "spec": spec.name,
+                    "store": store_root,
+                    "total": len(cases),
+                    "queue_depth": len(self._queue),
+                }
+            )
+            if not watch:
+                return False
+            if run.state == "done":
+                # Cached serving: the whole campaign is a registry hit.
+                stream.send(self._done_message(run))
+                return False
+            run.subscribers.append(stream)
+            return True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while True:
+            run = None
+            with self._lock:
+                if self._queue:
+                    run = self._queue.popleft()
+            if run is None:
+                # Idle: fold dirty stores, then either exit (draining/
+                # stopped) or wait for the next submission.
+                self._compact_idle()
+                if self._closing or self._draining:
+                    self.stop()
+                    if self._fleet is not None:
+                        self._fleet.shutdown()
+                    return
+                self._wakeup.wait(_IDLE_POLL_S)
+                self._wakeup.clear()
+                continue
+            self._execute(run)
+
+    def _store(self, root: str) -> CampaignStore:
+        store = self._stores.get(root)
+        if store is None:
+            store = self._stores[root] = CampaignStore(root)
+        return store
+
+    def _execute(self, run: _Run) -> None:
+        with self._lock:
+            run.state = "running"
+        store = self._store(run.store_root)
+        scheduler = CampaignScheduler(
+            store,
+            # Compaction is the executor's idle-time job, not the run's:
+            # back-to-back submissions should not each pay a rewrite.
+            compact=False,
+            heartbeat=Path(store.root) / "heartbeat.json",
+            heartbeat_sink=lambda payload: self._broadcast(
+                run, {"type": "beat", "run_id": run.run_id, **payload}
+            ),
+        )
+        transport = None
+        try:
+            if self._fleet is not None:
+                self._fleet.store = store
+                report = scheduler.run(run.cases, self._fleet)
+            else:
+                jobs = resolve_jobs(run.jobs, len(store.missing(run.cases)))
+                transport = (
+                    SerialTransport(store)
+                    if jobs == 1
+                    else ProcessPoolTransport(store, jobs)
+                )
+                report = scheduler.run(run.cases, transport)
+        except Exception as exc:  # noqa: BLE001 — a run must never kill the daemon
+            report = RunReport(
+                total=len(run.cases), executed=0, cached=0,
+                failures=[{"key": "*",
+                           "error": f"{type(exc).__name__}: {exc}"}],
+            )
+        finally:
+            if transport is not None:
+                transport.shutdown()
+        if store.dirty:
+            self._dirty_roots.add(run.store_root)
+        with self._lock:
+            run.report = report
+            run.state = "done"
+            subscribers, run.subscribers = run.subscribers, []
+        done = self._done_message(run)
+        for subscriber in subscribers:
+            try:
+                subscriber.send(done)
+            except OSError:
+                pass
+            subscriber.close()
+
+    def _done_message(self, run: _Run) -> dict:
+        report = run.report
+        return {
+            "type": "done",
+            "run_id": run.run_id,
+            "submitters": run.submitters,
+            "report": dataclasses.asdict(report) if report else None,
+        }
+
+    def _broadcast(self, run: _Run, message: dict) -> None:
+        with self._lock:
+            subscribers = list(run.subscribers)
+        for subscriber in subscribers:
+            try:
+                subscriber.send(message)
+            except OSError:
+                with self._lock:
+                    if subscriber in run.subscribers:
+                        run.subscribers.remove(subscriber)
+                subscriber.close()
+
+    def _compact_idle(self) -> None:
+        for root in sorted(self._dirty_roots):
+            store = self._store(root)
+            try:
+                store.compact()
+            except StoreBusyError:
+                # Another writer (a concurrent CLI run) is live: leave
+                # its pending files alone and retry on a later idle tick.
+                store.load()
+                continue
+            except OSError:
+                continue
+            self._dirty_roots.discard(root)

@@ -44,6 +44,15 @@ STORE_VERSION = 1
 DEFAULT_SHARDS = 16
 
 
+class StoreBusyError(RuntimeError):
+    """Compaction refused: another live writer holds the store's lock.
+
+    Rewriting shards out from under a concurrent appender (a daemon run
+    and a CLI ``run`` sharing one store) risks torn interleavings; the
+    caller should retry after the writer finishes, or skip compaction.
+    """
+
+
 def _try_flock(handle) -> bool:
     """Advisory-lock a writer's pending file.
 
@@ -110,6 +119,10 @@ class CampaignStore:
         self.corrupt_lines = 0
         #: True once this process appended records not yet compacted.
         self._dirty = False
+        #: Held (shared) while this store has open append streams, so a
+        #: concurrent compaction refuses instead of rewriting shards
+        #: under us (see :class:`StoreBusyError`).
+        self._writer_lock: IO[str] | None = None
 
     # ------------------------------------------------------------------
     # Paths
@@ -218,6 +231,53 @@ class CampaignStore:
     # Writes
     # ------------------------------------------------------------------
 
+    def writer_lock_path(self) -> Path:
+        return self.root / "writers.lock"
+
+    def _acquire_writer_share(self) -> None:
+        """Advertise this process as a live writer (shared flock).
+
+        Every appender holds a shared lock on one well-known file;
+        :meth:`compact` takes the same lock exclusively, so compaction
+        and appends serialize — a daemon and a concurrent CLI ``run``
+        against one store cannot interleave torn shard rewrites.  If a
+        compaction is mid-flight the acquire blocks until it finishes
+        (compaction is bounded and atomic).  Degrades to a no-op where
+        ``fcntl`` is unavailable.
+        """
+        if self._writer_lock is not None:
+            return
+        try:
+            import fcntl
+        except ImportError:
+            return
+        handle = open(self.writer_lock_path(), "a")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_SH)
+        except OSError:
+            handle.close()
+            return
+        self._writer_lock = handle
+
+    def _try_exclusive_writer_lock(self):
+        """The compaction side: ``None`` if any writer is live.
+
+        Returns a held handle to close when done, or the string
+        ``"unsupported"`` where flock cannot arbitrate.
+        """
+        try:
+            import fcntl
+        except ImportError:
+            return "unsupported"
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle = open(self.writer_lock_path(), "a")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            return None
+        return handle
+
     def _open_stream(self, stream: str) -> IO[str]:
         """Open (and writer-lock) a pending file for ``stream``.
 
@@ -244,6 +304,7 @@ class CampaignStore:
         handle = self._streams.get(stream)
         if handle is None:
             self.root.mkdir(parents=True, exist_ok=True)
+            self._acquire_writer_share()
             handle = self._open_stream(stream)
             self._streams[stream] = handle
         handle.write(canonical_json(record) + "\n")
@@ -259,20 +320,41 @@ class CampaignStore:
             except OSError:
                 pass
         self._streams.clear()
+        if self._writer_lock is not None:
+            try:
+                self._writer_lock.close()  # closing the fd drops the flock
+            except OSError:
+                pass
+            self._writer_lock = None
 
     def compact(self, prune_stale: bool = False) -> None:
         """Fold pending files into canonical, byte-deterministic shards.
 
-        Re-reads everything on disk (other writers' pending files
+        Raises :class:`StoreBusyError` while any *other* writer holds
+        the store's shared writer lock — rewriting shards under a live
+        appender is exactly the torn-interleaving hazard the lock
+        exists to rule out (this store's own streams are closed first,
+        so self-compaction is always allowed).  With the exclusive lock
+        held, re-reads everything on disk (killed writers' pending files
         included), writes each shard sorted by key via temp-file +
-        atomic rename, then removes the pending files of *finished*
-        writers.  A live writer holds an advisory lock on its pending
-        file, so a concurrent campaign's in-flight stream is folded but
-        never unlinked — its later appends are not lost.  A crash
-        mid-way leaves at worst duplicate records across shard and
-        pending files, which the key-indexed load collapses.
+        atomic rename, then removes the pending files.  A crash mid-way
+        leaves at worst duplicate records across shard and pending
+        files, which the key-indexed load collapses.
         """
         self.close()
+        guard = self._try_exclusive_writer_lock()
+        if guard is None:
+            raise StoreBusyError(
+                f"compaction refused: another writer holds the lock on "
+                f"{self.root}"
+            )
+        try:
+            self._compact_locked(prune_stale)
+        finally:
+            if guard != "unsupported":
+                guard.close()
+
+    def _compact_locked(self, prune_stale: bool) -> None:
         self.load()
         records = self.records()
         if prune_stale:

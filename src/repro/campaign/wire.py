@@ -1,0 +1,128 @@
+"""Line-delimited JSON over sockets — the campaign fleet/service wire.
+
+One message per line, UTF-8 JSON, ``\\n``-terminated.  Both the socket
+fleet transport (:mod:`repro.campaign.transports`) and the campaign
+service (:mod:`repro.campaign.service`) speak this framing; the helpers
+here are the single home for address parsing, listening-socket setup
+(TCP *or* Unix-domain), and the read/write loop, so a message is framed
+identically no matter which endpoint sent it.
+
+Addresses are strings: ``"host:port"`` binds/connects TCP, anything
+else is treated as a Unix-socket path (created on bind, unlinked on
+close).  ``"host:0"`` binds an ephemeral port; :func:`bound_address`
+reports what the kernel picked so tests and CI never race on a fixed
+port.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Iterator
+
+#: Accept/connect backlog; far above any realistic fleet size.
+_BACKLOG = 64
+
+
+def is_inet(address: str) -> bool:
+    """``host:port`` (TCP) vs a filesystem path (Unix socket)."""
+    host, sep, port = address.rpartition(":")
+    return bool(sep) and bool(host) and port.isdigit()
+
+
+def listen(address: str) -> socket.socket:
+    """A listening socket for ``address`` (TCP or Unix-domain)."""
+    if is_inet(address):
+        host, _, port = address.rpartition(":")
+        server = socket.create_server(
+            (host, int(port)), backlog=_BACKLOG, reuse_port=False
+        )
+        return server
+    if not hasattr(socket, "AF_UNIX"):  # pragma: no cover — non-POSIX
+        raise OSError(f"unix sockets unsupported here; use host:port, got {address!r}")
+    try:
+        os.unlink(address)
+    except OSError:
+        pass
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(address)
+    server.listen(_BACKLOG)
+    return server
+
+
+def bound_address(server: socket.socket) -> str:
+    """The canonical string address a :func:`listen` socket ended up on."""
+    name = server.getsockname()
+    if isinstance(name, tuple):
+        return f"{name[0]}:{name[1]}"
+    return name
+
+
+def connect(address: str, timeout: float | None = None) -> socket.socket:
+    """A connected client socket for ``address``."""
+    if is_inet(address):
+        host, _, port = address.rpartition(":")
+        return socket.create_connection((host, int(port)), timeout=timeout)
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    if timeout is not None:
+        client.settimeout(timeout)
+    client.connect(address)
+    return client
+
+
+class MessageStream:
+    """One peer's framed view of a connected socket.
+
+    Keeps the receive buffer across reads, so back-to-back messages from
+    the peer are never lost between calls.  A partial trailing line (a
+    peer killed mid-write) is dropped, mirroring the store's torn-line
+    tolerance: the reader sees only complete messages, never a fragment.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+
+    def send(self, message: dict) -> None:
+        """Write one message as a single JSON line."""
+        self.sock.sendall(json.dumps(message, sort_keys=True).encode() + b"\n")
+
+    def read(self) -> dict | None:
+        """The next complete message, or ``None`` on EOF/disconnect."""
+        while True:
+            if b"\n" in self._buffer:
+                line, self._buffer = self._buffer.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(message, dict):
+                    return message
+                continue
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self._buffer += chunk
+
+    def __iter__(self) -> Iterator[dict]:
+        while True:
+            message = self.read()
+            if message is None:
+                return
+            yield message
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

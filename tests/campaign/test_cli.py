@@ -408,6 +408,46 @@ def test_status_watch_waits_for_live_run(mini_spec_file, tmp_path, capsys):
     assert "campaign finished" in out
 
 
+def test_status_watch_tolerates_torn_heartbeat(
+    mini_spec_file, tmp_path, capsys
+):
+    """A half-written beacon (a writer without atomic rename, an NFS
+    mount mid-sync) must read as 'no beat yet', not crash the watcher:
+    the watch keeps polling and picks up the next complete beat."""
+    import threading
+    import time
+
+    from repro.campaign.runner import HeartbeatWriter
+
+    store = tmp_path / "store"
+    store.mkdir()
+    beat_path = store / "heartbeat.json"
+
+    def torn_then_finished():
+        writer = HeartbeatWriter(beat_path, total=2, cached=0, jobs=1)
+        writer.beat(1, stream="serial")
+        # Truncate the beacon mid-object — a torn read in progress.
+        full = beat_path.read_text()
+        beat_path.write_text(full[: len(full) // 2])
+        time.sleep(0.05)
+        # And one valid-JSON-but-wrong-shape torn variant.
+        beat_path.write_text("42")
+        time.sleep(0.05)
+        writer.beat(2, stream="serial", finished=True)
+
+    thread = threading.Thread(target=torn_then_finished)
+    thread.start()
+    try:
+        assert main(["status", "--spec", mini_spec_file,
+                     "--store", str(store), "--watch",
+                     "--interval", "0.01"]) == 0
+    finally:
+        thread.join()
+    out = capsys.readouterr().out
+    assert "2/2 (100%)" in out
+    assert "campaign finished" in out
+
+
 def test_run_heartbeat_flag_overrides_and_disables(
     mini_spec_file, tmp_path, capsys
 ):

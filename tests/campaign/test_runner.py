@@ -130,12 +130,14 @@ def test_progress_ticks_start_at_cached_count(tmp_path):
 
 
 def test_resolve_jobs():
+    from repro.campaign.scheduler import _available_cpus
+
     assert resolve_jobs(1, 100) == 1
     assert resolve_jobs(8, 3) == 3
     assert resolve_jobs(None, 0) == 1
-    import os
-
-    assert resolve_jobs(None, 64) == min(os.cpu_count() or 1, 64)
+    # Auto sizing follows the *usable* CPUs (affinity-aware), capped by
+    # the case count.
+    assert resolve_jobs(None, 64) == min(_available_cpus(), 64)
 
 
 def _crash_once(params):
@@ -161,7 +163,14 @@ def test_broken_pool_respawns_and_finishes(tmp_path, monkeypatch):
     """A worker dying mid-case (OOM kill analogue) breaks the whole
     pool; the runner must reload the store, respawn, and finish the
     genuinely unfinished cases — not surface a spurious failure."""
+    from repro.campaign import scheduler
+
     monkeypatch.setitem(executors.EXECUTORS, "crash-once", _crash_once)
+    # Worst-case schedule: each of the 3 cases crashes in its own round
+    # (a round ends at the first worker death), so finishing needs 3
+    # crash rounds plus one clean round — give the retry budget exactly
+    # that, instead of racing the default against worker scheduling.
+    monkeypatch.setattr(scheduler, "_TRANSPORT_RETRIES", 3)
     cases = [
         ScenarioCase(
             "crash-once",
@@ -184,10 +193,10 @@ def test_broken_pool_respawns_and_finishes(tmp_path, monkeypatch):
 def test_broken_pool_retries_are_bounded(tmp_path, monkeypatch):
     """A worker that dies every time must not retry forever: after the
     respawn budget the unfinished cases surface as ordinary failures."""
-    from repro.campaign import runner
+    from repro.campaign import scheduler
 
     monkeypatch.setitem(executors.EXECUTORS, "crash-always", _crash_always)
-    monkeypatch.setattr(runner, "_POOL_RETRIES", 1)
+    monkeypatch.setattr(scheduler, "_TRANSPORT_RETRIES", 1)
     # Two cases: a single case would resolve to the in-process serial
     # path, where os._exit would take the test process down with it.
     cases = [

@@ -1,0 +1,161 @@
+"""Scheduler/transport split: equivalence, retries, beats, job sizing."""
+
+import dataclasses
+import threading
+
+from repro.campaign.scheduler import CampaignScheduler, resolve_jobs
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.transports import (
+    ProcessPoolTransport,
+    SerialTransport,
+    SocketFleetTransport,
+    TransportBroken,
+    fleet_worker,
+)
+from repro.workloads import COMMERCIAL_WORKLOADS
+
+
+def _tiny_spec(n: int = 4) -> CampaignSpec:
+    protocols = ["tokenb", "directory", "hammer", "tokend"]
+    return CampaignSpec(
+        name="tiny", kind="simulate",
+        grid=[
+            {
+                "workload": dataclasses.asdict(COMMERCIAL_WORKLOADS["apache"]),
+                "ops_per_proc": 20 + i,
+                "config": {"protocol": protocols[i % len(protocols)],
+                           "interconnect": "torus", "n_procs": 2},
+            }
+            for i in range(n)
+        ],
+    )
+
+
+def _store_bytes(root):
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(root.glob("*.jsonl")) + [root / "meta.json"]
+    }
+
+
+def test_every_transport_produces_byte_identical_compacted_stores(tmp_path):
+    """The split's core claim: serial, local pool, and socket fleet all
+    publish identical records through the same store, so the compacted
+    bytes are a pure function of the spec — independent of transport."""
+    spec = _tiny_spec(4)
+    cases = spec.cases()
+
+    serial_store = CampaignStore(tmp_path / "serial")
+    report = CampaignScheduler(serial_store).run(
+        cases, SerialTransport(serial_store)
+    )
+    assert report.ok and report.executed == 4
+
+    pool_store = CampaignStore(tmp_path / "pool")
+    pool = ProcessPoolTransport(pool_store, jobs=2)
+    try:
+        report = CampaignScheduler(pool_store).run(cases, pool)
+    finally:
+        pool.shutdown()
+    assert report.ok and report.executed == 4
+
+    fleet_store = CampaignStore(tmp_path / "fleet")
+    fleet = SocketFleetTransport(fleet_store, batch_size=2)
+    worker = threading.Thread(
+        target=fleet_worker, args=(fleet.address,), daemon=True
+    )
+    worker.start()
+    try:
+        report = CampaignScheduler(fleet_store).run(cases, fleet)
+    finally:
+        fleet.shutdown()
+    worker.join(timeout=10)
+    assert report.ok and report.executed == 4
+
+    serial_bytes = _store_bytes(tmp_path / "serial")
+    assert _store_bytes(tmp_path / "pool") == serial_bytes
+    assert _store_bytes(tmp_path / "fleet") == serial_bytes
+    # Everything folded: no pending files survive compaction anywhere.
+    for name in ("serial", "pool", "fleet"):
+        assert not list((tmp_path / name).glob("pending-*.jsonl"))
+
+
+def test_scheduler_pending_diffs_spec_against_store(tmp_path):
+    spec = _tiny_spec(3)
+    store = CampaignStore(tmp_path)
+    scheduler = CampaignScheduler(store)
+    assert len(scheduler.pending(spec)) == 3
+    scheduler.run(spec.cases()[:1], SerialTransport(store))
+    assert len(scheduler.pending(spec)) == 2
+
+
+def test_heartbeat_sink_streams_beacon_payloads_without_a_file(tmp_path):
+    """The service's subscriber stream is the heartbeat format: a sink
+    receives every beat payload (including the terminal one) even with
+    no beacon file configured."""
+    spec = _tiny_spec(2)
+    store = CampaignStore(tmp_path)
+    beats = []
+    scheduler = CampaignScheduler(store, heartbeat_sink=beats.append)
+    report = scheduler.run(spec, SerialTransport(store))
+    assert report.ok
+    # Initial beat + one per completion + terminal.
+    assert len(beats) == 4
+    assert beats[0]["completed"] == 0 and not beats[0]["finished"]
+    assert beats[-1]["finished"] is True
+    assert beats[-1]["completed"] == beats[-1]["total"] == 2
+    assert all("throughput_per_s" in beat for beat in beats)
+    assert not (tmp_path / "heartbeat.json").exists()
+
+
+class _AlwaysBroken:
+    """A transport that loses its workers on every submit."""
+
+    out_of_process = False
+    lanes = 1
+
+    def __init__(self):
+        self.submits = 0
+
+    def submit(self, batch):
+        self.submits += 1
+        raise TransportBroken("synthetic break")
+        yield  # pragma: no cover — makes submit a generator
+
+    def shutdown(self):
+        pass
+
+
+def test_retries_are_configurable_and_stragglers_name_the_reason(tmp_path):
+    spec = _tiny_spec(2)
+    store = CampaignStore(tmp_path)
+    transport = _AlwaysBroken()
+    scheduler = CampaignScheduler(store, compact=False, retries=1)
+    report = scheduler.run(spec, transport)
+    assert transport.submits == 2  # first try + one retry
+    assert len(report.failures) == 2
+    assert all(
+        "synthetic break" in failure["error"]
+        and "restarted 1 times" in failure["error"]
+        for failure in report.failures
+    )
+
+
+def test_resolve_jobs_respects_cpu_affinity(monkeypatch):
+    """Auto job sizing uses the process's *usable* CPUs (cgroup/taskset
+    affinity), not the machine-wide count."""
+    import os
+
+    from repro.campaign import scheduler
+
+    if hasattr(os, "sched_getaffinity"):
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2}
+        )
+        assert scheduler._available_cpus() == 3
+        assert resolve_jobs(None, 64) == 3
+        assert resolve_jobs(None, 2) == 2
+    # Platforms without the syscall fall back to cpu_count.
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    assert scheduler._available_cpus() == (os.cpu_count() or 1)

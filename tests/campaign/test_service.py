@@ -1,0 +1,307 @@
+"""Campaign service: dedup, backpressure, streaming, kill-resume."""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import executors
+from repro.campaign.runner import run_campaign
+from repro.campaign.service import (
+    CampaignService,
+    ServiceBusy,
+    ServiceRejected,
+    ping,
+    request_shutdown,
+    submit_spec,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.workloads import COMMERCIAL_WORKLOADS
+
+
+def _sim_spec(n: int = 3, ops: int = 20) -> CampaignSpec:
+    protocols = ["tokenb", "directory", "hammer", "tokend", "tokenm", "snooping"]
+    return CampaignSpec(
+        name="svc-tiny", kind="simulate",
+        grid=[
+            {
+                "workload": dataclasses.asdict(COMMERCIAL_WORKLOADS["apache"]),
+                "ops_per_proc": ops + i,
+                "config": {
+                    "protocol": protocols[i % len(protocols)],
+                    "interconnect": "tree"
+                    if protocols[i % len(protocols)] == "snooping"
+                    else "torus",
+                    "n_procs": 2,
+                },
+            }
+            for i in range(n)
+        ],
+    )
+
+
+@pytest.fixture()
+def service(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "svc-test")
+    svc = CampaignService(address="127.0.0.1:0", queue_limit=2)
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+def test_submit_runs_and_streams_heartbeat_beats(service, tmp_path):
+    spec = _sim_spec(3)
+    beats = []
+    outcome = submit_spec(
+        service.address, spec, store=str(tmp_path / "store"),
+        on_beat=beats.append,
+    )
+    assert outcome["accepted"]["deduped"] is False
+    assert outcome["accepted"]["total"] == 3
+    report = outcome["report"]
+    assert (report["total"], report["executed"], report["cached"]) == (3, 3, 0)
+    assert report["failures"] == []
+    # Beats are the heartbeat beacon format, streamed over the socket.
+    assert len(beats) == 5  # initial + 3 completions + terminal
+    assert beats[-1]["finished"] is True
+    assert beats[-1]["completed"] == 3
+    assert all("throughput_per_s" in beat for beat in beats)
+    # The beacon file exists too, so `status --watch` works on the store.
+    beacon = json.loads((tmp_path / "store" / "heartbeat.json").read_text())
+    assert beacon["finished"] is True
+
+
+def test_completed_run_is_served_from_the_registry(service, tmp_path):
+    """Resubmitting a finished campaign re-executes nothing: the daemon
+    answers straight from its run registry (state=done, deduped)."""
+    spec = _sim_spec(2)
+    store = str(tmp_path / "store")
+    first = submit_spec(service.address, spec, store=store)
+    assert first["report"]["executed"] == 2
+
+    second = submit_spec(service.address, spec, store=store)
+    assert second["accepted"]["deduped"] is True
+    assert second["accepted"]["state"] == "done"
+    assert second["report"] is not None
+    status = ping(service.address)
+    assert status["runs"]["done"] == 1  # one run ever, not two
+
+
+def test_concurrent_identical_submissions_execute_once(
+    service, tmp_path, monkeypatch
+):
+    """The dedup contract: two clients submitting the same spec
+    concurrently share one run — every scenario executes exactly once
+    and both submitters get the same run id and final report."""
+    executed = []
+
+    def snail(params):
+        time.sleep(0.15)
+        executed.append(params["i"])
+        return {"ok": True}
+
+    monkeypatch.setitem(executors.EXECUTORS, "snail", snail)
+    spec = CampaignSpec(
+        name="snails", kind="snail", grid=[{"i": i} for i in range(2)]
+    )
+    store = str(tmp_path / "store")
+    outcomes = [None, None]
+
+    def submit(slot):
+        outcomes[slot] = submit_spec(service.address, spec, store=store)
+
+    first = threading.Thread(target=submit, args=(0,))
+    first.start()
+    time.sleep(0.1)  # the first submission is mid-run by now
+    second = threading.Thread(target=submit, args=(1,))
+    second.start()
+    first.join(timeout=30)
+    second.join(timeout=30)
+
+    accepted = [outcome["accepted"] for outcome in outcomes]
+    assert accepted[0]["run_id"] == accepted[1]["run_id"]
+    assert sorted(a["deduped"] for a in accepted) == [False, True]
+    assert sorted(executed) == [0, 1]  # each scenario ran exactly once
+    for outcome in outcomes:
+        assert outcome["report"]["executed"] == 2
+    assert ping(service.address)["runs"]["done"] == 1
+
+
+def test_queue_bound_answers_with_explicit_backpressure(
+    tmp_path, monkeypatch
+):
+    """Submissions past the queue bound are refused with an explicit
+    backpressure response — never queued unboundedly, never hung."""
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "svc-bp")
+    release = threading.Event()
+
+    def blocker(params):
+        release.wait(timeout=10)
+        return {"ok": True}
+
+    monkeypatch.setitem(executors.EXECUTORS, "blocker", blocker)
+    svc = CampaignService(address="127.0.0.1:0", queue_limit=1)
+    svc.start()
+    try:
+        def spec_for(i):
+            return CampaignSpec(
+                name=f"block-{i}", kind="blocker", grid=[{"i": i}]
+            )
+
+        store = str(tmp_path / "store")
+        submit_spec(svc.address, spec_for(0), store=store, watch=False)
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if ping(svc.address)["runs"]["running"] == 1:
+                break
+            time.sleep(0.01)
+        # One more fits the queue; the next gets backpressure.
+        submit_spec(svc.address, spec_for(1), store=store, watch=False)
+        with pytest.raises(ServiceBusy) as excinfo:
+            submit_spec(svc.address, spec_for(2), store=store, watch=False)
+        assert excinfo.value.queue_limit == 1
+        assert excinfo.value.queue_depth >= 1
+    finally:
+        release.set()
+        svc.stop()
+
+
+def test_mismatched_client_fingerprint_is_rejected(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "client-src")
+    svc = CampaignService(address="127.0.0.1:0", fingerprint="service-src")
+    svc.start()
+    try:
+        with pytest.raises(ServiceRejected, match="fingerprint mismatch"):
+            submit_spec(svc.address, _sim_spec(1), store=str(tmp_path / "s"))
+    finally:
+        svc.stop()
+
+
+def test_shutdown_drains_and_compacts_before_exit(service, tmp_path):
+    """After a shutdown request the daemon's executor folds every store
+    it dirtied into canonical shards (meta.json appears, pending files
+    vanish) before its threads exit."""
+    spec = _sim_spec(2)
+    store_root = tmp_path / "store"
+    submit_spec(service.address, spec, store=str(store_root))
+
+    assert request_shutdown(service.address)["type"] == "bye"
+    for thread in service._threads:
+        thread.join(timeout=10)
+    assert not any(thread.is_alive() for thread in service._threads)
+    assert (store_root / "meta.json").exists()
+    assert not list(store_root.glob("pending-*.jsonl"))
+
+
+def test_service_store_bytes_match_direct_run(service, tmp_path):
+    """The acceptance shape: a store produced through the daemon is
+    byte-identical, post-compaction, to one produced by run_campaign."""
+    spec = _sim_spec(3)
+    service_root = tmp_path / "via-service"
+    submit_spec(service.address, spec, store=str(service_root))
+    request_shutdown(service.address)
+    for thread in service._threads:
+        thread.join(timeout=10)
+
+    direct_root = tmp_path / "direct"
+    run_campaign(spec, CampaignStore(direct_root), jobs=1)
+
+    def snapshot(root):
+        return {
+            p.name: p.read_bytes()
+            for p in sorted(root.glob("*.jsonl")) + [root / "meta.json"]
+        }
+
+    assert snapshot(service_root) == snapshot(direct_root)
+
+
+# ----------------------------------------------------------------------
+# Kill-resume (subprocess daemon)
+# ----------------------------------------------------------------------
+
+
+def _spawn_daemon(env):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.campaign", "serve",
+         "--address", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    assert "listening on" in line, line
+    return proc, line.rsplit(" ", 1)[-1].strip()
+
+
+def test_sigkilled_daemon_run_resumes_only_missing_scenarios(
+    tmp_path, monkeypatch
+):
+    """SIGKILL the daemon mid-campaign: every record flushed before the
+    kill survives, and a fresh daemon executes only what is missing —
+    ending byte-identical to an uninterrupted direct run."""
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "svc-kill")
+    env = dict(
+        os.environ,
+        REPRO_CAMPAIGN_FINGERPRINT="svc-kill",
+        PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"),
+    )
+    spec = _sim_spec(6, ops=30)
+    store_root = tmp_path / "store"
+
+    proc, address = _spawn_daemon(env)
+    try:
+        progressed = threading.Event()
+        outcome = {}
+
+        def submit():
+            try:
+                submit_spec(
+                    address, spec, store=str(store_root),
+                    on_beat=lambda beat: (
+                        beat["completed"] >= 2 and progressed.set()
+                    ),
+                )
+            except ConnectionError as exc:
+                outcome["error"] = exc
+
+        watcher = threading.Thread(target=submit)
+        watcher.start()
+        assert progressed.wait(timeout=60), "no progress before the kill"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+        watcher.join(timeout=10)
+        # The kill severed the subscription mid-run.
+        assert isinstance(outcome.get("error"), ConnectionError)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    survivors = len(CampaignStore(store_root))
+    assert survivors >= 2  # everything flushed before the kill persisted
+
+    proc, address = _spawn_daemon(env)
+    try:
+        resumed = submit_spec(address, spec, store=str(store_root))
+        report = resumed["report"]
+        assert report["cached"] == survivors
+        assert report["executed"] == 6 - survivors
+        assert report["failures"] == []
+        request_shutdown(address)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    direct_root = tmp_path / "direct"
+    run_campaign(spec, CampaignStore(direct_root), jobs=1)
+    snapshot = lambda root: {  # noqa: E731
+        p.name: p.read_bytes()
+        for p in sorted(root.glob("*.jsonl")) + [root / "meta.json"]
+    }
+    assert snapshot(store_root) == snapshot(direct_root)

@@ -93,23 +93,41 @@ def test_compact_merges_pending_from_other_writers(tmp_path):
     assert not list(Path(tmp_path).glob("pending-*.jsonl"))
 
 
-def test_compact_spares_a_live_writers_pending_file(tmp_path):
-    """A concurrent writer's open stream is folded but never unlinked,
-    so records it appends after another campaign's compact survive."""
+def test_compact_refuses_while_another_writer_is_live(tmp_path):
+    """Multi-writer safety: a live appender (a daemon run, a concurrent
+    CLI ``run``) holds the store's shared writer lock, and compaction
+    refuses rather than rewriting shards under it.  Once the writer
+    closes, compaction folds everything and clears the pending files."""
+    import pytest
+
+    from repro.campaign.store import StoreBusyError
+
     live = CampaignStore(tmp_path)
     live.append(_record(_case(0)), stream="worker-live")  # holds the lock
 
     other = CampaignStore(tmp_path)
     other.append(_record(_case(1)), stream="serial")
-    other.compact()
-    assert len(other) == 2  # the live record was folded...
-    assert live.pending_path("worker-live").exists()  # ...but not deleted
+    with pytest.raises(StoreBusyError):
+        other.compact()
+    assert live.pending_path("worker-live").exists()  # untouched
 
     live.append(_record(_case(2)), stream="worker-live")
     live.close()
     fresh = CampaignStore(tmp_path)
     assert len(fresh) == 3  # nothing lost
     fresh.compact()
+    assert not list(Path(tmp_path).glob("pending-*.jsonl"))
+
+
+def test_compact_allowed_after_own_streams_only(tmp_path):
+    """A store's own open streams never block its own compaction —
+    compact() closes them first, so the common end-of-run compact in a
+    single-writer campaign still works unconditionally."""
+    store = CampaignStore(tmp_path)
+    store.append(_record(_case(0)), stream="serial")
+    store.append(_record(_case(1)), stream="worker-7")  # two live streams
+    store.compact()  # must not raise
+    assert len(store) == 2
     assert not list(Path(tmp_path).glob("pending-*.jsonl"))
 
 
@@ -122,9 +140,10 @@ def test_same_stream_name_from_two_writers_does_not_collide(tmp_path):
     b.append(_record(_case(1)), stream="serial")  # falls back to unique
     assert len(list(Path(tmp_path).glob("pending-serial*.jsonl"))) == 2
 
-    a.compact()  # b's stream is live: folded, not unlinked
-    b.append(_record(_case(2)), stream="serial")
     b.close()
+    a.compact()  # a's own streams close; b finished: fold + unlink all
+    a.append(_record(_case(2)), stream="serial")
+    a.close()
     assert len(CampaignStore(tmp_path)) == 3  # nothing lost
 
 

@@ -1,0 +1,139 @@
+"""Socket fleet transport: auth, lease requeue, stall timeouts."""
+
+import dataclasses
+import threading
+import time
+
+import pytest
+
+from repro.campaign import wire
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.transports import (
+    SocketFleetTransport,
+    fleet_worker,
+)
+from repro.workloads import COMMERCIAL_WORKLOADS
+
+
+def _cases(n: int):
+    protocols = ["tokenb", "directory", "hammer", "tokend"]
+    spec = CampaignSpec(
+        name="t", kind="simulate",
+        grid=[
+            {
+                "workload": dataclasses.asdict(COMMERCIAL_WORKLOADS["apache"]),
+                "ops_per_proc": 20 + i,
+                "config": {"protocol": protocols[i % len(protocols)],
+                           "interconnect": "torus", "n_procs": 2},
+            }
+            for i in range(n)
+        ],
+    )
+    return spec.cases()
+
+
+def test_fleet_rejects_mismatched_source_fingerprint(tmp_path, monkeypatch):
+    """A worker built from different sources is turned away at hello —
+    its records would poison the content-addressed store."""
+    store = CampaignStore(tmp_path)
+    transport = SocketFleetTransport(store, fingerprint="campaign-src")
+    try:
+        monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "other-src")
+        with pytest.raises(ConnectionError, match="fingerprint mismatch"):
+            fleet_worker(transport.address, max_batches=1)
+    finally:
+        transport.shutdown()
+
+
+def test_fleet_worker_over_unix_socket(tmp_path, monkeypatch):
+    """Anything that isn't host:port is a Unix socket path — same
+    protocol, no TCP stack involved."""
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp-unix")
+    store = CampaignStore(tmp_path / "store")
+    transport = SocketFleetTransport(
+        store, address=str(tmp_path / "fleet.sock"), batch_size=2
+    )
+    assert transport.address == str(tmp_path / "fleet.sock")
+    cases = _cases(2)
+    worker = threading.Thread(
+        target=fleet_worker, args=(transport.address,), daemon=True
+    )
+    worker.start()
+    try:
+        completions = list(transport.submit(cases))
+    finally:
+        transport.shutdown()
+    worker.join(timeout=10)
+    assert len(completions) == 2 and all(c.ok for c in completions)
+    assert store.missing(cases) == []
+
+
+def test_dead_worker_lease_is_requeued_not_lost(tmp_path, monkeypatch):
+    """A worker disconnecting mid-batch returns its leased cases to the
+    queue: a flaky fleet loses time, never work."""
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp-lease")
+    store = CampaignStore(tmp_path / "store")
+    cases = _cases(3)
+    transport = SocketFleetTransport(store, batch_size=2)
+
+    completions = []
+    consumer = threading.Thread(
+        target=lambda: completions.extend(transport.submit(cases)),
+        daemon=True,
+    )
+    consumer.start()
+
+    # A worker that takes a lease and dies without reporting anything.
+    sock = wire.connect(transport.address)
+    stream = wire.MessageStream(sock)
+    stream.send({"type": "hello", "fingerprint": "fp-lease", "worker": "doomed"})
+    assert stream.read()["type"] == "welcome"
+    stream.send({"type": "pull"})
+    batch = stream.read()
+    assert batch["type"] == "batch" and len(batch["cases"]) == 2
+    stream.close()
+
+    # Wait for the server to notice the disconnect and requeue.
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        with transport._lock:
+            if len(transport._work) == 3:
+                break
+        time.sleep(0.01)
+    with transport._lock:
+        assert len(transport._work) == 3, "lease was not requeued"
+
+    # An honest worker now finishes everything, dead lease included.
+    worker = threading.Thread(
+        target=fleet_worker, args=(transport.address,), daemon=True
+    )
+    worker.start()
+    consumer.join(timeout=30)
+    transport.shutdown()
+    worker.join(timeout=10)
+    assert not consumer.is_alive()
+    assert len(completions) == 3 and all(c.ok for c in completions)
+    assert store.missing(cases) == []
+
+
+def test_stalled_fleet_surfaces_as_bounded_failures(tmp_path, monkeypatch):
+    """No worker progress within worker_timeout raises TransportBroken;
+    through the scheduler's retry budget that becomes explicit per-case
+    failures instead of a hung campaign."""
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "fp-stall")
+    store = CampaignStore(tmp_path)
+    cases = _cases(2)
+    transport = SocketFleetTransport(store, worker_timeout=0.1)
+    scheduler = CampaignScheduler(store, compact=False, retries=1)
+    try:
+        report = scheduler.run(cases, transport)
+    finally:
+        transport.shutdown()
+    assert len(report.failures) == 2
+    assert all(
+        "no worker progress" in failure["error"]
+        for failure in report.failures
+    )
+    assert store.missing(cases) == cases  # nothing half-recorded

@@ -1,0 +1,57 @@
+"""Line-JSON wire framing: addresses, buffering, torn-line tolerance."""
+
+import socket
+
+from repro.campaign import wire
+
+
+def test_is_inet_distinguishes_tcp_from_unix_paths():
+    assert wire.is_inet("127.0.0.1:0")
+    assert wire.is_inet("localhost:7741")
+    assert not wire.is_inet("/tmp/service.sock")
+    assert not wire.is_inet("relative/path.sock")
+    assert not wire.is_inet("host:notaport")
+
+
+def test_ephemeral_port_round_trip():
+    server = wire.listen("127.0.0.1:0")
+    address = wire.bound_address(server)
+    assert address.startswith("127.0.0.1:") and not address.endswith(":0")
+    client = wire.connect(address)
+    conn, _ = server.accept()
+    try:
+        wire.MessageStream(client).send({"n": 1})
+        assert wire.MessageStream(conn).read() == {"n": 1}
+    finally:
+        client.close()
+        conn.close()
+        server.close()
+
+
+def test_back_to_back_messages_survive_one_recv():
+    """Two messages arriving in one TCP segment both come out: the
+    stream keeps its buffer across reads."""
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b'{"i": 1}\n{"i": 2}\n')
+        stream = wire.MessageStream(b)
+        assert stream.read() == {"i": 1}
+        assert stream.read() == {"i": 2}
+    finally:
+        a.close()
+        b.close()
+
+
+def test_torn_trailing_line_is_dropped_on_eof():
+    """A peer killed mid-send leaves a partial line; the reader sees
+    only complete messages then EOF — mirroring the store's torn-line
+    tolerance."""
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b'{"whole": true}\n{"torn": tr')
+        a.close()
+        stream = wire.MessageStream(b)
+        assert stream.read() == {"whole": True}
+        assert stream.read() is None
+    finally:
+        b.close()
